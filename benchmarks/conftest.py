@@ -1,0 +1,51 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at
+``SMALL_SCALE`` (laptop-friendly sizes) and prints the resulting rows so the
+run doubles as a report.  The benchmarks measure one full experiment run
+each; pytest-benchmark's default calibration would repeat the expensive
+drivers many times, so each benchmark uses ``benchmark.pedantic`` with a
+single round.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+_SRC = pathlib.Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.report import format_table  # noqa: E402
+
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Print experiment rows and persist them under benchmarks/results/.
+
+    pytest captures stdout for passing tests, so the printed tables are only
+    visible with ``-s``; the files keep the regenerated rows available either
+    way.
+    """
+
+    def _report(title: str, rows):
+        text = format_table(rows, title=title)
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = "".join(ch if ch.isalnum() else "_" for ch in title.split("—")[0].strip()).lower()
+        (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+        return rows
+
+    return _report
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,28 @@
+"""Benchmark: stratification-optimizer ablation (Theorems 1-4 empirically)."""
+
+from conftest import run_once
+
+from repro.experiments import run_optimizer_ablation
+
+
+def test_ablation_optimizers(benchmark, report):
+    rows = run_once(
+        benchmark,
+        run_optimizer_ablation,
+        population_size=600,
+        pilot_size=48,
+        second_stage_samples=80,
+        num_strata=3,
+    )
+    report("Ablation — stratification optimizers vs brute force", rows)
+    by_name = {row["algorithm"]: row for row in rows}
+
+    # Empirical counterparts of the approximation theorems (all far inside
+    # their proven bounds on this instance family).
+    assert by_name["dirsol"]["vs_optimum"] <= 1.3
+    assert by_name["logbdr"]["vs_optimum"] <= 4.0
+    assert by_name["dynpgm"]["vs_optimum"] <= 4.0
+    # The fixed layouts are the baselines the optimizers must beat.
+    assert by_name["dynpgm"]["objective"] <= by_name["fixed-height"]["objective"] + 1e-9
+    # DynPgm must be far faster than exhaustive search on this instance.
+    assert by_name["dynpgm"]["seconds"] <= by_name["brute-force"]["seconds"]

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 1 — active learning sharpens the kNN decision boundary."""
+
+from conftest import run_once
+
+from repro.experiments import SMALL_SCALE, run_figure1_active_learning
+
+
+def test_figure1_active_learning(benchmark, report):
+    rows = run_once(benchmark, run_figure1_active_learning, SMALL_SCALE)
+    report("Figure 1 — kNN quality across uncertainty-sampling rounds", rows)
+    assert rows[0]["round"] == 0
+    assert rows[-1]["training_objects"] > rows[0]["training_objects"]
+    # Augmentation should not make the classifier meaningfully worse.
+    assert rows[-1]["auc"] >= rows[0]["auc"] - 0.05

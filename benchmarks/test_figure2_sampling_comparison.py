@@ -1,0 +1,33 @@
+"""Benchmark: Figure 2 — LWS/LSS vs SRS/SSP estimate distributions."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import SMALL_SCALE, run_figure2_sampling_comparison
+
+
+def test_figure2_sampling_comparison(benchmark, report):
+    rows = run_once(benchmark, run_figure2_sampling_comparison, SMALL_SCALE)
+    report("Figure 2 — estimate spread (IQR) by method", rows)
+
+    def iqr(dataset, level, method):
+        return [
+            row["iqr"]
+            for row in rows
+            if row["dataset"] == dataset and row["level"] == level and row["method"] == method
+        ][0]
+
+    # Shape check (paper): learn-to-sample methods are tighter than SRS in
+    # aggregate across the grid; LSS is the most consistent estimator.
+    lss_wins = 0
+    cells = 0
+    for dataset in SMALL_SCALE.datasets:
+        for level in SMALL_SCALE.levels:
+            cells += 1
+            if iqr(dataset, level, "lss") <= iqr(dataset, level, "srs") * 1.2:
+                lss_wins += 1
+    assert lss_wins >= cells / 2
+
+    lss_mean = np.mean([row["relative_iqr"] for row in rows if row["method"] == "lss"])
+    srs_mean = np.mean([row["relative_iqr"] for row in rows if row["method"] == "srs"])
+    assert lss_mean <= srs_mean + 0.10

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 3 — LSS overhead breakdown vs sample size."""
+
+from conftest import run_once
+
+from repro.experiments import SMALL_SCALE, run_figure3_overhead
+
+
+def test_figure3_overhead(benchmark, report):
+    rows = run_once(
+        benchmark,
+        run_figure3_overhead,
+        SMALL_SCALE,
+        sample_fractions=(0.01, 0.02),
+        trials_per_point=2,
+        predicate_cost_seconds=0.005,
+    )
+    report("Figure 3 — LSS overhead by phase (seconds)", rows)
+    for row in rows:
+        # The paper's claim: learning + design + phase-2 machinery are a small
+        # fraction of total runtime once predicate evaluation dominates.
+        assert row["overhead_pct"] < 50.0
+        assert row["predicate_s"] > 0.0
+    # Larger samples spend more time in the predicate.
+    assert rows[-1]["predicate_s"] >= rows[0]["predicate_s"]

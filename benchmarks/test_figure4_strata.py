@@ -1,0 +1,41 @@
+"""Benchmark: Figure 4 — strata layout strategy and number of strata."""
+
+import dataclasses
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import SMALL_SCALE, run_figure4_num_strata, run_figure4_strata_layout
+
+# Figure 4 runs two sub-experiments; keep the trial count modest so the
+# combined benchmark stays laptop-friendly.
+FIGURE4_SCALE = dataclasses.replace(SMALL_SCALE, num_trials=7)
+
+
+def test_figure4_strata_layout(benchmark, report):
+    rows = run_once(benchmark, run_figure4_strata_layout, FIGURE4_SCALE)
+    report("Figure 4 (layouts) — LSS strata layout strategies", rows)
+
+    def mean_iqr(layout):
+        return np.mean([row["relative_iqr"] for row in rows if row["layout"] == layout])
+
+    # Paper shape: the optimal (variance-minimising) layout is at least
+    # comparable to the fixed layouts on average (with a small absolute slack
+    # for trial noise at benchmark scale), and never collapses.
+    assert mean_iqr("optimal") <= mean_iqr("fixed-height") * 1.2 + 0.05
+    assert mean_iqr("optimal") <= mean_iqr("fixed-width") * 1.3 + 0.05
+    for row in rows:
+        assert row["median_relative_error"] < 1.0
+
+
+def test_figure4_num_strata(benchmark, report):
+    rows = run_once(
+        benchmark, run_figure4_num_strata, FIGURE4_SCALE, strata_counts=(4, 9, 25)
+    )
+    report("Figure 4 (strata count) — LSS vs SSP", rows)
+    lss = np.mean([row["relative_iqr"] for row in rows if row["method"].startswith("lss")])
+    ssp = np.mean([row["relative_iqr"] for row in rows if row["method"].startswith("ssp")])
+    # Paper shape: LSS keeps a comparable-or-smaller IQR than SSP across
+    # stratum counts (SSP's attribute grid is close to ideal for the Sports
+    # query, so "comparable" carries an absolute slack at this scale).
+    assert lss <= ssp + 0.15

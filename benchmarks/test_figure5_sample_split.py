@@ -1,0 +1,25 @@
+"""Benchmark: Figure 5 — learning/sampling budget split."""
+
+import dataclasses
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import SMALL_SCALE, run_figure5_sample_split
+
+FIGURE5_SCALE = dataclasses.replace(SMALL_SCALE, num_trials=7)
+
+
+def test_figure5_sample_split(benchmark, report):
+    rows = run_once(benchmark, run_figure5_sample_split, FIGURE5_SCALE)
+    report("Figure 5 — LSS vs learning-phase budget share", rows)
+
+    def mean_iqr(split_pct):
+        return np.mean([row["relative_iqr"] for row in rows if row["split_pct"] == split_pct])
+
+    # Paper shape: the middle splits (25 %, 50 %) are the most reliable; the
+    # extreme 75 % split starves the sampling phase and should not win.
+    best_middle = min(mean_iqr(25), mean_iqr(50))
+    assert best_middle <= mean_iqr(75) * 1.1 + 0.05
+    for row in rows:
+        assert row["iqr"] >= 0.0

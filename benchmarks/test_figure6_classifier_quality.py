@@ -1,0 +1,29 @@
+"""Benchmark: Figure 6 — effect of classifier quality on LSS."""
+
+import dataclasses
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import SMALL_SCALE, run_figure6_classifier_quality
+
+FIGURE6_SCALE = dataclasses.replace(SMALL_SCALE, num_trials=7)
+
+
+def test_figure6_classifier_quality(benchmark, report):
+    rows = run_once(benchmark, run_figure6_classifier_quality, FIGURE6_SCALE)
+    report("Figure 6 — LSS across classifiers", rows)
+
+    def mean_iqr(classifier):
+        return np.mean([row["relative_iqr"] for row in rows if row["classifier"] == classifier])
+
+    def worst_error(classifier):
+        return max(
+            row["median_relative_error"] for row in rows if row["classifier"] == classifier
+        )
+
+    # Paper shape: an informative classifier (RF or kNN) is at least as tight
+    # as the random-score classifier, and even the random classifier stays
+    # unbiased enough that its median error does not blow up.
+    assert min(mean_iqr("rf"), mean_iqr("knn")) <= mean_iqr("random") * 1.1 + 0.05
+    assert worst_error("random") < 0.6

@@ -1,0 +1,32 @@
+"""Benchmark: Figure 7 — quantification learning across classifiers."""
+
+import dataclasses
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import SMALL_SCALE, run_figure7_ql_classifiers
+
+FIGURE7_SCALE = dataclasses.replace(SMALL_SCALE, num_trials=5)
+
+
+def test_figure7_ql_classifiers(benchmark, report):
+    rows = run_once(
+        benchmark,
+        run_figure7_ql_classifiers,
+        FIGURE7_SCALE,
+        classifiers=("rf", "nn", "random"),
+    )
+    report("Figure 7 — quantification learning across classifiers", rows)
+
+    def worst_error(classifier):
+        return max(
+            row["median_relative_error"] for row in rows if row["classifier"] == classifier
+        )
+
+    # Paper shape: quantification learning is fine with a good classifier but
+    # can be far off with a weak one — the gap between the random-score
+    # classifier and the random forest should be clearly visible.
+    assert worst_error("rf") <= worst_error("random")
+    for row in rows:
+        assert row["iqr"] >= 0.0

@@ -1,0 +1,31 @@
+"""Benchmark: Figure 8 — QLCC vs QLAC, with and without augmentation."""
+
+import dataclasses
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import SMALL_SCALE, run_figure8_ql_methods
+
+FIGURE8_SCALE = dataclasses.replace(SMALL_SCALE, num_trials=5)
+
+
+def test_figure8_ql_methods(benchmark, report):
+    rows = run_once(benchmark, run_figure8_ql_methods, FIGURE8_SCALE)
+    report("Figure 8 — Classify-and-Count vs Adjusted Count", rows)
+
+    def median_error(method_prefix):
+        return np.median(
+            [
+                row["median_relative_error"]
+                for row in rows
+                if row["method"].startswith(method_prefix)
+            ]
+        )
+
+    # Paper shape: with the default random forest both calculations land in
+    # the same ballpark; neither should be wildly off on these learnable
+    # workloads.
+    assert median_error("qlcc") < 0.5
+    assert median_error("qlac") < 0.6
+    assert {row["augmented"] for row in rows} == {False, True}

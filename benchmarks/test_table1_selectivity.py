@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 1 (result-set sizes per selectivity level)."""
+
+from conftest import run_once
+
+from repro.experiments import SMALL_SCALE, run_table1_selectivity
+
+
+def test_table1_selectivity(benchmark, report):
+    rows = run_once(benchmark, run_table1_selectivity, SMALL_SCALE)
+    report("Table 1 — result set sizes (percent / exact)", rows)
+    # Every level must be calibrated close to its target selectivity.
+    for row in rows:
+        assert abs(row["result_pct"] - row["target_pct"]) < 7.0
+    # Result sizes must be monotone in the level ordering within a dataset.
+    order = {level: i for i, level in enumerate(SMALL_SCALE.levels)}
+    for dataset in SMALL_SCALE.datasets:
+        sizes = [row["result_size"] for row in rows if row["dataset"] == dataset]
+        levels = [order[row["level"]] for row in rows if row["dataset"] == dataset]
+        paired = [size for _, size in sorted(zip(levels, sizes))]
+        assert paired == sorted(paired)

@@ -1,0 +1,13 @@
+"""Make the in-repo sources importable even without installing the package.
+
+The offline environment lacks the `wheel` package that `pip install -e .`
+needs; `python setup.py develop` works, but this path insertion keeps
+`pytest` runnable from a clean checkout either way.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,54 @@
+"""Neighbors scenario: counting sparse (anomalous) connection records.
+
+Reproduces the paper's Type 2 workload (Example 1): count the connection
+records with at most ``k`` other records within distance ``d`` — the sparse
+records that an intrusion analyst would triage.  The script shows the key
+robustness property of Learned Stratified Sampling (Figure 6): swapping the
+classifier from a random forest to a useless random-score model degrades the
+estimate's tightness but never its validity.
+
+Run with:  python examples/network_anomalies.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.experiments.common import make_trial_function, run_distribution
+from repro.experiments.report import print_table
+from repro.workloads import build_neighbors_workload
+
+CLASSIFIERS = ("rf", "knn", "nn", "random")
+
+
+def main() -> None:
+    workload = build_neighbors_workload(level="S", num_rows=10_000, seed=11)
+    print(
+        f"Neighbors workload: {workload.num_objects} connection records, "
+        f"neighbour threshold k={workload.calibration.parameter}, "
+        f"true count {workload.true_count}"
+    )
+    print("LSS with different classifiers, 2% budget, 9 trials each\n")
+
+    rows = []
+    for classifier in CLASSIFIERS:
+        trial = make_trial_function("lss", classifier_name=classifier)
+        distribution = run_distribution(
+            workload, f"lss-{classifier}", trial, fraction=0.02, num_trials=9, seed=99
+        )
+        row = distribution.as_row()
+        row["classifier"] = classifier
+        rows.append(row)
+    print_table(rows, title="LSS estimate distributions by classifier")
+    print(
+        "\nNote how even the 'random' classifier keeps the median close to the "
+        "true count — the sampling layer guarantees validity; the classifier "
+        "only buys efficiency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses PEP 517 editable builds, which require `wheel` under
+setuptools < 70.  This offline environment lacks `wheel`, so the legacy path
+(`pip install -e . --no-use-pep517 --no-build-isolation` or
+`python setup.py develop`) is kept working through this shim.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""Learning to Sample: counting with complex queries.
+
+This package reproduces the system described in "Learning to Sample:
+Counting with Complex Queries" (Walenz, Sintos, Roy, Yang -- VLDB 2019).
+It provides:
+
+* ``repro.sampling`` -- classical survey-sampling estimators (simple random
+  sampling, stratified sampling with proportional or Neyman allocation,
+  probability-proportional-to-size sampling with the Des Raj estimator) and
+  the confidence-interval machinery they rely on.
+* ``repro.learning`` -- a small, dependency-free classifier library (kNN,
+  decision trees, random forests, a two-layer neural network, logistic
+  regression, a random dummy classifier) plus model-selection and
+  active-learning helpers.
+* ``repro.quantification`` -- quantification-learning estimators
+  (Classify-and-Count and Adjusted Count).
+* ``repro.query`` -- the workload substrate: tables, counting queries with
+  expensive predicates, a grid spatial index and an optional sqlite3 backend.
+* ``repro.datasets`` -- synthetic stand-ins for the paper's Sports (MLB
+  pitching) and Neighbors (KDD Cup 1999) datasets with selectivity
+  calibration.
+* ``repro.core`` -- the paper's contribution: Learned Weighted Sampling (LWS)
+  and Learned Stratified Sampling (LSS) together with the stratification
+  design optimizers DirSol, LogBdr, DynPgm and DynPgmP.
+* ``repro.experiments`` -- drivers that regenerate every table and figure in
+  the paper's evaluation section.
+"""
+
+from repro.core.estimate import CountEstimate
+from repro.core.lss import LearnedStratifiedSampling
+from repro.core.lws import LearnedWeightedSampling
+from repro.core.pipeline import LearnToSampleResult, learn_to_sample
+from repro.query.counting import CountingQuery
+from repro.sampling.srs import SimpleRandomSampling
+from repro.sampling.stratified import StratifiedSampling
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CountEstimate",
+    "CountingQuery",
+    "LearnedStratifiedSampling",
+    "LearnedWeightedSampling",
+    "LearnToSampleResult",
+    "SimpleRandomSampling",
+    "StratifiedSampling",
+    "learn_to_sample",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Core contribution: learn-to-sample estimators.
+
+``repro.core`` implements the paper's two learn-to-sample methods on top of
+the sampling and learning substrates:
+
+* :class:`repro.core.lws.LearnedWeightedSampling` — classifier scores as
+  size measures for probability-proportional-to-size sampling, evaluated with
+  the Des Raj ordered estimator (Section 4.1).
+* :class:`repro.core.lss.LearnedStratifiedSampling` — classifier scores
+  induce an ordering of the objects; a first-stage pilot sample is used to
+  jointly optimise stratification and allocation for a second-stage
+  stratified sample (Section 4.2), using the optimizers in
+  :mod:`repro.core.stratification`.
+"""
+
+from repro.core.estimate import CountEstimate
+from repro.core.lss import LearnedStratifiedSampling, LSSPhaseTimings
+from repro.core.lws import LearnedWeightedSampling
+from repro.core.pipeline import LearnToSampleResult, learn_to_sample
+
+__all__ = [
+    "CountEstimate",
+    "LSSPhaseTimings",
+    "LearnToSampleResult",
+    "LearnedStratifiedSampling",
+    "LearnedWeightedSampling",
+    "learn_to_sample",
+]

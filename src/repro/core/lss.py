@@ -1,0 +1,360 @@
+"""Learned Stratified Sampling (LSS).
+
+Section 4.2 of the paper.  After the learning phase, the classifier scores
+only *order* the unlabelled objects; a first-stage pilot sample is used to
+jointly design the stratification (contiguous runs of the ordering) and the
+allocation of the second-stage budget, and the final estimate is the standard
+stratified estimator over all sampling-phase labels.  Because only the
+ordering of the scores matters, LSS degrades gracefully with classifier
+quality: a random classifier reduces it to ordinary stratified sampling,
+never to a biased estimator.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.estimate import CountEstimate
+from repro.core.learning_phase import run_learning_phase
+from repro.core.stratification import (
+    PilotSample,
+    StratificationDesign,
+    dirsol_design,
+    dynpgm_design,
+    dynpgm_proportional_design,
+    fixed_height_design,
+    fixed_width_design,
+    logbdr_design,
+    smoothed_bernoulli_std,
+)
+from repro.learning.base import Classifier
+from repro.query.counting import CountingQuery
+from repro.sampling.rng import SeedLike, resolve_rng, sample_without_replacement
+from repro.sampling.stratified import StrataPartition, StratifiedSampling
+
+#: Optimizers selectable through the ``optimizer`` constructor argument.
+OPTIMIZERS = ("dynpgm", "dynpgm_prop", "logbdr", "dirsol", "fixed_width", "fixed_height")
+
+
+@dataclass(frozen=True)
+class LSSPhaseTimings:
+    """Wall-clock breakdown of one LSS estimate (the paper's Figure 3).
+
+    Attributes:
+        learning_seconds: classifier training time (phase-1 learning
+            overhead, excluding predicate evaluation).
+        design_seconds: pilot bookkeeping plus stratification/allocation
+            optimisation (phase-1 sample-design overhead).
+        sampling_overhead_seconds: scoring, ordering and sampling machinery
+            in phase 2 (excluding predicate evaluation).
+        predicate_seconds: total time spent inside the expensive predicate.
+        total_seconds: end-to-end wall-clock time of the estimate.
+    """
+
+    learning_seconds: float
+    design_seconds: float
+    sampling_overhead_seconds: float
+    predicate_seconds: float
+    total_seconds: float
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Total LSS-specific overhead (everything except the predicate)."""
+        return self.learning_seconds + self.design_seconds + self.sampling_overhead_seconds
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Overhead as a fraction of total wall-clock time."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.overhead_seconds / self.total_seconds
+
+
+class LearnedStratifiedSampling:
+    """Two-phase learned stratified sampling estimator.
+
+    Args:
+        classifier: classifier whose score ordering drives stratification;
+            the library default random forest when omitted.
+        num_strata: number of strata ``H`` (the paper's experiments use 4).
+        learning_fraction: fraction of the total budget labelled during the
+            learning phase (25 % in the paper's experiments).
+        pilot_fraction: fraction of the sampling-phase budget spent on the
+            first-stage pilot sample.
+        allocation: ``"neyman"`` or ``"proportional"`` second-stage
+            allocation.
+        optimizer: stratification optimizer — one of ``"dynpgm"`` (default),
+            ``"dynpgm_prop"``, ``"logbdr"``, ``"dirsol"``, ``"fixed_width"``
+            or ``"fixed_height"``.
+        min_pilot_per_stratum: minimum pilot objects per stratum (``m_⊔``,
+            around 5 in the paper).
+        min_stratum_size: minimum objects per stratum (``N_⊔``); a practical
+            default is derived from the population when omitted.
+        allocation_smoothing: when allocating the second-stage budget,
+            Laplace-smooth the per-stratum deviation estimates so a stratum
+            whose pilot labels happen to be pure is not starved of samples.
+        confidence: coverage level of the reported interval.
+        active_learning_rounds / active_learning_fraction: uncertainty
+            sampling in the learning phase.
+        optimizer_options: extra keyword arguments forwarded to the
+            optimizer (e.g. ``max_candidates`` for DynPgm).
+    """
+
+    method_name = "lss"
+
+    def __init__(
+        self,
+        classifier: Classifier | None = None,
+        num_strata: int = 4,
+        learning_fraction: float = 0.25,
+        pilot_fraction: float = 0.3,
+        allocation: str = "neyman",
+        optimizer: str = "dynpgm",
+        min_pilot_per_stratum: int = 5,
+        min_stratum_size: int | None = None,
+        allocation_smoothing: bool = True,
+        confidence: float = 0.95,
+        active_learning_rounds: int = 0,
+        active_learning_fraction: float = 0.2,
+        optimizer_options: dict | None = None,
+    ) -> None:
+        if not 0.0 < learning_fraction < 1.0:
+            raise ValueError("learning_fraction must lie strictly between 0 and 1")
+        if not 0.0 < pilot_fraction < 1.0:
+            raise ValueError("pilot_fraction must lie strictly between 0 and 1")
+        if num_strata <= 0:
+            raise ValueError("num_strata must be positive")
+        if allocation not in {"neyman", "proportional"}:
+            raise ValueError(f"unknown allocation {allocation!r}")
+        if optimizer not in OPTIMIZERS:
+            raise ValueError(f"unknown optimizer {optimizer!r}; choose from {OPTIMIZERS}")
+        if optimizer == "dirsol" and num_strata != 3:
+            raise ValueError("DirSol only supports exactly 3 strata")
+        self.classifier = classifier
+        self.num_strata = num_strata
+        self.learning_fraction = learning_fraction
+        self.pilot_fraction = pilot_fraction
+        self.allocation = allocation
+        self.optimizer = optimizer
+        self.min_pilot_per_stratum = min_pilot_per_stratum
+        self.min_stratum_size = min_stratum_size
+        self.allocation_smoothing = allocation_smoothing
+        self.confidence = confidence
+        self.active_learning_rounds = active_learning_rounds
+        self.active_learning_fraction = active_learning_fraction
+        self.optimizer_options = dict(optimizer_options or {})
+
+    # -- internal helpers -----------------------------------------------------
+    def _design(
+        self,
+        pilot: PilotSample,
+        sorted_scores: np.ndarray,
+        second_stage_samples: int,
+    ) -> StratificationDesign:
+        options = dict(self.optimizer_options)
+        common = {
+            "min_stratum_size": self.min_stratum_size,
+            "min_pilot_per_stratum": self.min_pilot_per_stratum,
+        }
+        if self.optimizer == "dynpgm":
+            return dynpgm_design(
+                pilot, self.num_strata, second_stage_samples, **common, **options
+            )
+        if self.optimizer == "dynpgm_prop":
+            return dynpgm_proportional_design(
+                pilot, self.num_strata, second_stage_samples, **common, **options
+            )
+        if self.optimizer == "logbdr":
+            return logbdr_design(
+                pilot, self.num_strata, second_stage_samples, **common, **options
+            )
+        if self.optimizer == "dirsol":
+            return dirsol_design(pilot, second_stage_samples, **common, **options)
+        if self.optimizer == "fixed_width":
+            return fixed_width_design(
+                pilot, sorted_scores, self.num_strata, second_stage_samples, self.allocation
+            )
+        return fixed_height_design(
+            pilot, self.num_strata, second_stage_samples, self.allocation
+        )
+
+    def _design_with_fallback(
+        self,
+        pilot: PilotSample,
+        sorted_scores: np.ndarray,
+        second_stage_samples: int,
+    ) -> StratificationDesign:
+        """Run the optimizer, falling back to fixed-height when infeasible.
+
+        With very small pilot samples (tiny budgets) the optimizer's
+        minimum-size constraints can be unsatisfiable; the estimator must
+        still return an unbiased estimate, so it falls back to the
+        constraint-free fixed-height layout in that case.
+        """
+        try:
+            return self._design(pilot, sorted_scores, second_stage_samples)
+        except ValueError:
+            return fixed_height_design(
+                pilot, self.num_strata, second_stage_samples, self.allocation
+            )
+
+    # -- public API -----------------------------------------------------------
+    def estimate(
+        self,
+        query: CountingQuery,
+        budget: int,
+        seed: SeedLike = None,
+    ) -> CountEstimate:
+        """Estimate ``C(O, q)`` spending at most ``budget`` predicate calls."""
+        if budget < 8:
+            raise ValueError("budget must be at least 8 predicate evaluations")
+        budget = min(budget, query.num_objects)
+        rng = resolve_rng(seed)
+        total_started = time.perf_counter()
+        evaluations_before = query.evaluations
+        predicate_seconds_before = query.evaluation_seconds
+
+        learning_budget = max(int(round(self.learning_fraction * budget)), 2)
+        learning_budget = min(learning_budget, budget - 4)
+        learning = run_learning_phase(
+            query,
+            learning_budget,
+            classifier=self.classifier,
+            active_learning_rounds=self.active_learning_rounds,
+            active_learning_fraction=self.active_learning_fraction,
+            seed=rng,
+        )
+
+        remaining = learning.remaining_indices
+        sampling_budget = budget - learning.labelled_count
+        if remaining.size == 0 or sampling_budget <= 0:
+            return CountEstimate(
+                count=learning.positive_count,
+                proportion=float(learning.labels.mean()),
+                population_size=int(learning.labelled_count),
+                predicate_evaluations=query.evaluations - evaluations_before,
+                method=self.method_name,
+                details={"degenerate": True},
+            )
+        sampling_budget = min(sampling_budget, remaining.size)
+
+        # Order the remaining objects by classifier score.
+        overhead_started = time.perf_counter()
+        scores = learning.classifier.predict_scores(query.features(remaining))
+        order = np.argsort(scores, kind="stable")
+        ordered_objects = remaining[order]
+        sorted_scores = scores[order]
+        sampling_overhead_seconds = time.perf_counter() - overhead_started
+
+        # Stage I: pilot sample over the ordered population.
+        pilot_size = int(round(self.pilot_fraction * sampling_budget))
+        pilot_size = max(pilot_size, min(self.num_strata * self.min_pilot_per_stratum, sampling_budget - 1))
+        # Keep enough budget in stage II to give every stratum at least one
+        # fresh sample.
+        pilot_size = min(pilot_size, sampling_budget - self.num_strata, remaining.size)
+        pilot_size = max(pilot_size, 2)
+        second_stage_samples = sampling_budget - pilot_size
+
+        pilot_positions = np.sort(
+            sample_without_replacement(remaining.size, pilot_size, seed=rng)
+        )
+        pilot_labels = query.evaluate(ordered_objects[pilot_positions])
+        pilot = PilotSample(pilot_positions, pilot_labels, remaining.size)
+
+        # Sample design: stratification + allocation.
+        design_started = time.perf_counter()
+        design = self._design_with_fallback(pilot, sorted_scores, max(second_stage_samples, 1))
+        min_per_stratum = max(1, min(5, second_stage_samples // max(design.num_strata, 1)))
+        stratified = StratifiedSampling(
+            allocation=self.allocation,
+            confidence=self.confidence,
+            min_per_stratum=min_per_stratum,
+        )
+        partition = StrataPartition(
+            [ordered_objects[start:end] for start, end in design.stratum_slices()]
+        )
+        if self.allocation_smoothing:
+            pilot_positives = np.array(
+                [
+                    float(pilot_labels[(pilot_positions >= start) & (pilot_positions < end)].sum())
+                    for start, end in design.stratum_slices()
+                ]
+            )
+            allocation_stds = smoothed_bernoulli_std(pilot_positives, design.pilot_counts)
+        else:
+            allocation_stds = np.sqrt(design.stratum_variances)
+        allocation = stratified.allocate(
+            partition,
+            second_stage_samples,
+            stratum_stds=allocation_stds,
+        )
+        design_seconds = time.perf_counter() - design_started
+
+        # Stage II: draw the allotted samples, excluding pilot objects.  Only
+        # the fresh stage-II labels feed the final estimator: the pilot
+        # labels already shaped the stratum boundaries, so reusing them
+        # inside the strata they delimit would bias the estimate (most
+        # visibly by making "all-negative" strata look exactly empty).
+        stratum_labels: list[np.ndarray] = []
+        slices = design.stratum_slices()
+        overhead_started = time.perf_counter()
+        stage2_overhead = 0.0
+        for (start, end), allotted in zip(slices, allocation.counts):
+            in_stratum_mask = (pilot_positions >= start) & (pilot_positions < end)
+            pilot_in_stratum = pilot_labels[in_stratum_mask]
+            pilot_positions_in_stratum = pilot_positions[in_stratum_mask]
+            available = np.setdiff1d(
+                np.arange(start, end), pilot_positions_in_stratum, assume_unique=True
+            )
+            take = int(min(allotted, available.size))
+            if take > 0:
+                chosen_positions = sample_without_replacement(available, take, seed=rng)
+                stage2_overhead += time.perf_counter() - overhead_started
+                extra_labels = query.evaluate(ordered_objects[chosen_positions])
+                overhead_started = time.perf_counter()
+                stratum_labels.append(extra_labels)
+            else:
+                # Degenerate budget: no fresh samples fit in this stratum, so
+                # fall back to its pilot labels rather than treating it as
+                # unobserved.
+                stratum_labels.append(pilot_in_stratum)
+        stage2_overhead += time.perf_counter() - overhead_started
+
+        estimate = stratified.estimate_from_samples(
+            partition,
+            stratum_labels,
+            predicate_evaluations=query.evaluations - evaluations_before,
+            method=self.method_name,
+        )
+
+        predicate_seconds = query.evaluation_seconds - predicate_seconds_before
+        timings = LSSPhaseTimings(
+            learning_seconds=learning.training_seconds,
+            design_seconds=design_seconds,
+            sampling_overhead_seconds=sampling_overhead_seconds + stage2_overhead,
+            predicate_seconds=predicate_seconds,
+            total_seconds=time.perf_counter() - total_started,
+        )
+        details = {
+            "design": design,
+            "allocation": allocation.counts,
+            "timings": timings,
+            "learning_count": learning.labelled_count,
+            "learning_positives": learning.positive_count,
+            "pilot_size": pilot_size,
+            "num_strata": design.num_strata,
+        }
+        return CountEstimate(
+            count=estimate.count + learning.positive_count,
+            proportion=estimate.proportion,
+            population_size=estimate.population_size,
+            predicate_evaluations=query.evaluations - evaluations_before,
+            method=self.method_name,
+            interval=estimate.interval,
+            variance=estimate.variance,
+            count_offset=learning.positive_count,
+            details=details,
+        )

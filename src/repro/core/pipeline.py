@@ -1,0 +1,130 @@
+"""A single-call facade over every estimator in the library.
+
+``learn_to_sample`` runs any of the estimators — the learn-to-sample methods,
+the quantification-learning estimators and the sampling baselines — against a
+:class:`~repro.query.counting.CountingQuery`, with the same budget semantics,
+and returns the estimate together with context that the experiment harness
+and the examples find useful (ground truth, realised error, classifier name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.estimate import CountEstimate
+from repro.core.lss import LearnedStratifiedSampling
+from repro.core.lws import LearnedWeightedSampling
+from repro.quantification.adjusted_count import AdjustedCount
+from repro.quantification.classify_count import ClassifyAndCount
+from repro.query.counting import CountingQuery
+from repro.sampling.rng import SeedLike
+from repro.sampling.srs import SimpleRandomSampling
+from repro.sampling.stratified import (
+    StratifiedSampling,
+    TwoStageNeymanSampling,
+    attribute_grid_strata,
+)
+
+#: Methods accepted by :func:`learn_to_sample`.
+METHODS = ("lss", "lws", "qlcc", "qlac", "srs", "ssp", "ssn")
+
+
+@dataclass(frozen=True)
+class LearnToSampleResult:
+    """A count estimate bundled with evaluation context.
+
+    Attributes:
+        estimate: the estimator's :class:`CountEstimate`.
+        method: the method name that produced it.
+        true_count: exact ground truth for the query (from the bulk predicate
+            path) — available because the experiments always validate against
+            it.
+        budget: the requested predicate-evaluation budget.
+    """
+
+    estimate: CountEstimate
+    method: str
+    true_count: int
+    budget: int
+
+    @property
+    def error(self) -> float:
+        """Signed error of the estimated count."""
+        return self.estimate.count - self.true_count
+
+    @property
+    def relative_error(self) -> float:
+        """Absolute relative error of the estimated count."""
+        return self.estimate.relative_error(self.true_count)
+
+
+def _grid_partition(query: CountingQuery, num_strata: int):
+    """Surrogate-attribute grid strata for the SSP/SSN baselines."""
+    features = query.features()
+    cells = max(int(round(num_strata ** (1.0 / features.shape[1]))), 1)
+    return attribute_grid_strata(features, cells_per_dimension=cells)
+
+
+def learn_to_sample(
+    query: CountingQuery,
+    budget: int,
+    method: str = "lss",
+    seed: SeedLike = None,
+    num_strata: int = 4,
+    **estimator_options: Any,
+) -> LearnToSampleResult:
+    """Estimate a counting query with the chosen method.
+
+    Args:
+        query: the counting query to estimate.
+        budget: number of expensive-predicate evaluations the estimator may
+            spend.
+        method: one of ``"lss"``, ``"lws"``, ``"qlcc"``, ``"qlac"``,
+            ``"srs"``, ``"ssp"``, ``"ssn"``.
+        seed: RNG seed or generator.
+        num_strata: number of strata for the stratified methods.
+        **estimator_options: forwarded to the chosen estimator's constructor.
+
+    Returns:
+        A :class:`LearnToSampleResult` with the estimate and ground truth.
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+
+    if method == "lss":
+        estimator = LearnedStratifiedSampling(num_strata=num_strata, **estimator_options)
+        estimate = estimator.estimate(query, budget, seed=seed)
+    elif method == "lws":
+        estimator = LearnedWeightedSampling(**estimator_options)
+        estimate = estimator.estimate(query, budget, seed=seed)
+    elif method == "qlcc":
+        estimator = ClassifyAndCount(**estimator_options)
+        estimate = estimator.estimate(query, budget, seed=seed)
+    elif method == "qlac":
+        estimator = AdjustedCount(**estimator_options)
+        estimate = estimator.estimate(query, budget, seed=seed)
+    elif method == "srs":
+        estimator = SimpleRandomSampling(**estimator_options)
+        estimate = estimator.estimate(
+            query.object_indices(), query.evaluate, budget, seed=seed
+        )
+    elif method == "ssp":
+        estimator = StratifiedSampling(allocation="proportional", **estimator_options)
+        partition = _grid_partition(query, num_strata)
+        estimate = estimator.estimate(partition, query.evaluate, budget, seed=seed)
+    else:  # ssn
+        estimator = TwoStageNeymanSampling(**estimator_options)
+        partition = _grid_partition(query, num_strata)
+        estimate = estimator.estimate(partition, query.evaluate, budget, seed=seed)
+
+    return LearnToSampleResult(
+        estimate=estimate,
+        method=method,
+        true_count=query.true_count(),
+        budget=budget,
+    )

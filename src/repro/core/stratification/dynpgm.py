@@ -1,0 +1,144 @@
+"""DynPgm: dynamic-programming stratification for Neyman allocation.
+
+The Neyman-allocation objective (eq. 5) is not separable across strata
+because of the cross term ``Σ_h N_h s_h Σ_{h'<h} N_h' s_h'``.  Following
+Section 4.2.1, the algorithm guesses a bound ``t`` on the auxiliary sum
+``Σ N_h s_h`` from a geometric grid, runs a dynamic program over the
+candidate boundary grid under the constraint ``N_h s_h ≤ t`` for every
+stratum, and keeps the best reconstructed design across all guesses
+(Theorem 3 bounds the resulting approximation factor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stratification.design import (
+    PilotSample,
+    StratificationDesign,
+    bernoulli_variance_estimate,
+    candidate_boundary_cuts,
+    default_minimum_stratum_size,
+    design_from_cuts,
+)
+from repro.core.stratification.dynpgm_prop import _reconstruct_cuts
+
+
+def _auxiliary_sum_grid(population_size: int, num_strata: int, ratio: float) -> np.ndarray:
+    """Geometric grid of guesses for the auxiliary sum ``Σ N_h s_h``.
+
+    The auxiliary sum is at most ``H · N / 2`` because the standard deviation
+    of 0/1 labels never exceeds one half; the grid spans ``[1, H·N]`` in
+    powers of ``1 + ratio``.
+    """
+    upper = max(num_strata * population_size, 2)
+    count = int(np.ceil(np.log(upper) / np.log(1.0 + ratio))) + 1
+    return (1.0 + ratio) ** np.arange(count + 1)
+
+
+def dynpgm_design(
+    pilot: PilotSample,
+    num_strata: int,
+    second_stage_samples: int,
+    min_stratum_size: int | None = None,
+    min_pilot_per_stratum: int = 2,
+    include_backward: bool = True,
+    max_candidates: int | None = 4000,
+    grid_ratio: float = 1.0,
+) -> StratificationDesign:
+    """Find a stratification minimising the Neyman-allocation variance.
+
+    Args:
+        pilot: labelled pilot sample with positions in the score ordering.
+        num_strata: number of strata ``H``.
+        second_stage_samples: second-stage budget ``n``.
+        min_stratum_size: minimum objects per stratum (``N_⊔``).
+        min_pilot_per_stratum: minimum pilot objects per stratum (``m_⊔``).
+        include_backward: also generate backward power-of-two candidates.
+        max_candidates: cap on the candidate boundary grid size.
+        grid_ratio: ε of the auxiliary-sum grid ``(1 + ε)^i`` — smaller values
+            tighten the approximation at the cost of more DP passes.
+
+    Returns:
+        The best :class:`StratificationDesign` found (its ``objective_value``
+        is the exact eq.-5 objective of the reconstructed cuts, not the DP's
+        internal bound).
+    """
+    if num_strata <= 0:
+        raise ValueError("num_strata must be positive")
+    if second_stage_samples <= 0:
+        raise ValueError("second_stage_samples must be positive")
+    if grid_ratio <= 0:
+        raise ValueError("grid_ratio must be positive")
+    if min_stratum_size is None:
+        min_stratum_size = default_minimum_stratum_size(
+            pilot.population_size, second_stage_samples, num_strata
+        )
+
+    cuts = candidate_boundary_cuts(pilot, include_backward, max_candidates)
+    num_cuts = cuts.size
+    ranks = pilot.ranks_at(cuts)
+    gamma_at = pilot.gamma[ranks]
+    sizes = (cuts[None, :] - cuts[:, None]).astype(np.float64)
+    pilot_counts = ranks[None, :] - ranks[:, None]
+    positives = gamma_at[None, :] - gamma_at[:, None]
+    variances = bernoulli_variance_estimate(positives, pilot_counts)
+    deviations = np.sqrt(variances)
+
+    weighted = sizes * deviations  # N_h s_h for every candidate stratum
+    n = float(second_stage_samples)
+    base_cost = weighted**2 / n - sizes * variances
+    feasible = (
+        (sizes >= min_stratum_size)
+        & (pilot_counts >= min_pilot_per_stratum)
+        & np.triu(np.ones((num_cuts, num_cuts), dtype=bool), k=1)
+    )
+
+    final_index = num_cuts - 1
+    best_design: StratificationDesign | None = None
+    for bound in _auxiliary_sum_grid(pilot.population_size, num_strata, grid_ratio):
+        allowed = feasible & (weighted <= bound)
+        if not allowed[:, final_index].any():
+            continue
+        cost = np.where(allowed, base_cost, np.inf)
+        weight_masked = np.where(allowed, weighted, 0.0)
+
+        value = np.full((num_cuts, num_strata + 1), np.inf)
+        auxiliary = np.zeros((num_cuts, num_strata + 1))
+        parents = np.full((num_cuts, num_strata + 1), -1, dtype=np.int64)
+        value[0, 0] = 0.0
+        for level in range(1, num_strata + 1):
+            previous_value = value[:, level - 1]
+            previous_aux = auxiliary[:, level - 1]
+            # totals[j, i]: extend the best (level-1)-strata solution ending at
+            # candidate j with the stratum [cuts[j], cuts[i]).
+            totals = (
+                previous_value[:, None]
+                + cost
+                + (2.0 / n) * weight_masked * previous_aux[:, None]
+            )
+            value[:, level] = totals.min(axis=0)
+            parents[:, level] = totals.argmin(axis=0)
+            chosen = parents[:, level]
+            auxiliary[:, level] = previous_aux[chosen] + weight_masked[chosen, np.arange(num_cuts)]
+
+        chosen_level = None
+        for level in range(num_strata, 0, -1):
+            if np.isfinite(value[final_index, level]):
+                chosen_level = level
+                break
+        if chosen_level is None:
+            continue
+        reconstructed = _reconstruct_cuts(cuts, parents, final_index, chosen_level)
+        candidate = design_from_cuts(
+            pilot, reconstructed, second_stage_samples, "neyman", algorithm="dynpgm"
+        )
+        if best_design is None or candidate.objective_value < best_design.objective_value:
+            best_design = candidate
+
+    if best_design is None:
+        raise ValueError(
+            "no feasible stratification satisfies the minimum-size constraints; "
+            "reduce num_strata or the minimums"
+        )
+    return best_design

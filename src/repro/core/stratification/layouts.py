@@ -1,0 +1,138 @@
+"""Baseline strata layouts and the brute-force reference optimizer.
+
+Figure 4 of the paper compares three layout strategies over the score
+ordering: *fixed width* (equal score increments), *fixed height* (equal
+numbers of objects) and *optimal width* (the variance-minimising designs of
+the DirSol/LogBdr/DynPgm family).  The first two live here, together with a
+brute-force optimizer used by the test suite to check the approximation
+guarantees of the faster algorithms on small instances.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+import numpy as np
+
+from repro.core.stratification.design import (
+    PilotSample,
+    StratificationDesign,
+    design_from_cuts,
+)
+
+
+def repair_cuts(inner_cuts: np.ndarray, population_size: int) -> np.ndarray:
+    """Turn raw inner cut positions into a valid strictly increasing vector.
+
+    Out-of-range and duplicate cuts are dropped (which can reduce the number
+    of strata — e.g. when every score is identical, a single stratum
+    remains); the endpoints 0 and ``N`` are appended.
+    """
+    inner = np.asarray(inner_cuts, dtype=np.int64)
+    inner = inner[(inner > 0) & (inner < population_size)]
+    inner = np.unique(inner)
+    return np.concatenate([[0], inner, [population_size]])
+
+
+def fixed_width_design(
+    pilot: PilotSample,
+    sorted_scores: np.ndarray,
+    num_strata: int,
+    second_stage_samples: int,
+    allocation: str = "neyman",
+) -> StratificationDesign:
+    """Strata covering equal-width slices of the score range.
+
+    Args:
+        pilot: the labelled pilot sample (used only to estimate per-stratum
+            variances for allocation, not to choose the boundaries).
+        sorted_scores: classifier scores of the ordered population (ascending
+            — the same ordering the pilot positions refer to).
+        num_strata: number of strata ``H``.
+        second_stage_samples: second-stage budget ``n`` (for the objective).
+        allocation: which allocation the objective should assume.
+    """
+    sorted_scores = np.asarray(sorted_scores, dtype=np.float64)
+    if sorted_scores.size != pilot.population_size:
+        raise ValueError("sorted_scores must cover the whole ordered population")
+    if num_strata <= 0:
+        raise ValueError("num_strata must be positive")
+    low, high = float(sorted_scores[0]), float(sorted_scores[-1])
+    if high <= low:
+        inner = np.empty(0, dtype=np.int64)
+    else:
+        edges = np.linspace(low, high, num_strata + 1)[1:-1]
+        inner = np.searchsorted(sorted_scores, edges, side="left")
+    cuts = repair_cuts(inner, pilot.population_size)
+    return design_from_cuts(
+        pilot, cuts, second_stage_samples, allocation, algorithm="fixed-width"
+    )
+
+
+def fixed_height_design(
+    pilot: PilotSample,
+    num_strata: int,
+    second_stage_samples: int,
+    allocation: str = "neyman",
+) -> StratificationDesign:
+    """Strata containing (nearly) equal numbers of objects."""
+    if num_strata <= 0:
+        raise ValueError("num_strata must be positive")
+    population = pilot.population_size
+    inner = np.round(np.arange(1, num_strata) * population / num_strata).astype(np.int64)
+    cuts = repair_cuts(inner, population)
+    return design_from_cuts(
+        pilot, cuts, second_stage_samples, allocation, algorithm="fixed-height"
+    )
+
+
+def brute_force_design(
+    pilot: PilotSample,
+    num_strata: int,
+    second_stage_samples: int,
+    allocation: str = "neyman",
+    min_stratum_size: int = 1,
+    min_pilot_per_stratum: int = 2,
+    max_designs: int = 2_000_000,
+) -> StratificationDesign:
+    """Exhaustively search every integer boundary vector (small inputs only).
+
+    This is the reference the approximation algorithms are tested against;
+    its running time is exponential in ``num_strata`` and it refuses to run
+    when the search space exceeds ``max_designs``.
+    """
+    population = pilot.population_size
+    if num_strata <= 0:
+        raise ValueError("num_strata must be positive")
+    if num_strata == 1:
+        return design_from_cuts(
+            pilot,
+            np.array([0, population]),
+            second_stage_samples,
+            allocation,
+            algorithm="brute-force",
+        )
+    search_space = comb(population - 1, num_strata - 1)
+    if search_space > max_designs:
+        raise ValueError(
+            f"brute force would evaluate {search_space} designs (> {max_designs}); "
+            "use one of the approximation algorithms instead"
+        )
+
+    best: StratificationDesign | None = None
+    for inner in combinations(range(1, population), num_strata - 1):
+        cuts = np.concatenate([[0], np.asarray(inner, dtype=np.int64), [population]])
+        sizes, pilot_counts, _ = pilot.stratum_statistics(cuts)
+        if np.any(sizes < min_stratum_size) or np.any(pilot_counts < min_pilot_per_stratum):
+            continue
+        candidate = design_from_cuts(
+            pilot, cuts, second_stage_samples, allocation, algorithm="brute-force"
+        )
+        if best is None or candidate.objective_value < best.objective_value:
+            best = candidate
+    if best is None:
+        raise ValueError(
+            "no feasible stratification exists for the given minimum-size constraints"
+        )
+    return best

@@ -1,0 +1,27 @@
+"""Synthetic stand-ins for the paper's evaluation datasets.
+
+The paper evaluates on MLB pitching statistics ("Sports", ~47 k player-season
+rows, k-skyband query) and a KDD Cup 1999 sample ("Neighbors", ~73 k
+connection records with 41 features, few-neighbours query).  Neither dataset
+ships with this repository, so :mod:`repro.datasets.sports` and
+:mod:`repro.datasets.neighbors` generate synthetic tables with the same
+schema shape, scale and skew characteristics, and
+:mod:`repro.datasets.selectivity` calibrates the query parameters to hit the
+paper's XS…XXL result-set sizes (Table 1).
+"""
+
+from repro.datasets.neighbors import generate_neighbors_table
+from repro.datasets.selectivity import (
+    SELECTIVITY_LEVELS,
+    calibrate_neighbor_threshold,
+    calibrate_skyband_depth,
+)
+from repro.datasets.sports import generate_sports_table
+
+__all__ = [
+    "SELECTIVITY_LEVELS",
+    "calibrate_neighbor_threshold",
+    "calibrate_skyband_depth",
+    "generate_neighbors_table",
+    "generate_sports_table",
+]

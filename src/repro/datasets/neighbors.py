@@ -1,0 +1,107 @@
+"""Synthetic Neighbors (KDD Cup 1999 style) dataset.
+
+The paper's Type 2 workload asks, over ~73 000 network-connection records
+with 41 features, which records have at most ``k`` other records within
+distance ``d`` — sparse records are the interesting (anomalous) ones.  This
+generator produces a mixture of dense "normal traffic" clusters and diffuse
+"attack"/scan records in a 2-d activity space (connection count vs. bytes
+transferred, log scale), plus 39 additional correlated and categorical-coded
+features so the table has the same 41-column shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.table import Table
+from repro.sampling.rng import SeedLike, resolve_rng
+
+DEFAULT_NEIGHBORS_ROWS = 73_000
+NEIGHBOR_X_COLUMN = "conn_count"
+NEIGHBOR_Y_COLUMN = "bytes_log"
+NUM_EXTRA_FEATURES = 39
+
+
+def generate_neighbors_table(
+    num_rows: int = DEFAULT_NEIGHBORS_ROWS,
+    seed: SeedLike = 11,
+    num_clusters: int = 6,
+    anomaly_fraction: float = 0.08,
+    name: str = "neighbors",
+) -> Table:
+    """Generate a synthetic connection-records table.
+
+    Args:
+        num_rows: number of connection records (the paper samples ~73 000).
+        seed: RNG seed.
+        num_clusters: number of dense "normal traffic" clusters.
+        anomaly_fraction: fraction of diffuse, low-density records.
+        name: table name.
+
+    Returns:
+        A table whose first two columns (``conn_count``, ``bytes_log``) are
+        the coordinates used by the neighbour-count predicate, followed by 39
+        additional feature columns (``feature_03`` ... ``feature_41``) and a
+        ``is_attack`` indicator of the generating component.
+    """
+    if num_rows <= 0:
+        raise ValueError("num_rows must be positive")
+    if not 0.0 <= anomaly_fraction < 1.0:
+        raise ValueError("anomaly_fraction must lie in [0, 1)")
+    if num_clusters <= 0:
+        raise ValueError("num_clusters must be positive")
+    rng = resolve_rng(seed)
+
+    num_anomalies = int(round(anomaly_fraction * num_rows))
+    num_normal = num_rows - num_anomalies
+
+    # Dense clusters with heavy radial tails: most normal traffic concentrates
+    # around a handful of service profiles (KDD Cup traffic is dominated by
+    # near-duplicate records) while rarer variants trail off with distance, so
+    # a record's neighbour count decays smoothly as it sits further from its
+    # cluster core.  That smooth density gradient is what lets the query's
+    # selectivity be swept from XS to XXL by moving the count threshold.
+    centers = rng.uniform(5.0, 95.0, size=(num_clusters, 2))
+    spreads = rng.uniform(0.4, 1.2, size=num_clusters)
+    assignments = rng.integers(0, num_clusters, size=num_normal)
+    radial_tail = rng.lognormal(mean=0.0, sigma=0.9, size=num_normal)
+    normal_points = centers[assignments] + rng.normal(
+        0.0, 1.0, size=(num_normal, 2)
+    ) * (spreads[assignments] * radial_tail)[:, None]
+
+    # Diffuse anomalies: scans and rare services scattered over the space.
+    anomaly_points = rng.uniform(0.0, 100.0, size=(num_anomalies, 2))
+
+    points = np.vstack([normal_points, anomaly_points])
+    is_attack = np.concatenate(
+        [np.zeros(num_normal, dtype=np.int64), np.ones(num_anomalies, dtype=np.int64)]
+    )
+    order = rng.permutation(num_rows)
+    points = points[order]
+    is_attack = is_attack[order]
+
+    columns: dict[str, np.ndarray] = {
+        NEIGHBOR_X_COLUMN: points[:, 0],
+        NEIGHBOR_Y_COLUMN: points[:, 1],
+    }
+
+    # Additional features: a mix of noisy transforms of the coordinates (so
+    # some features correlate with the label, as in KDD Cup data) and pure
+    # noise / low-cardinality categorical codes.
+    for feature_index in range(NUM_EXTRA_FEATURES):
+        feature_name = f"feature_{feature_index + 3:02d}"
+        kind = feature_index % 3
+        if kind == 0:
+            values = (
+                0.4 * points[:, 0]
+                - 0.2 * points[:, 1]
+                + rng.normal(0, 5.0, size=num_rows)
+            )
+        elif kind == 1:
+            values = rng.normal(0.0, 1.0, size=num_rows)
+        else:
+            values = rng.integers(0, 5, size=num_rows).astype(np.float64)
+        columns[feature_name] = values
+
+    columns["is_attack"] = is_attack
+    return Table(columns, name=name)

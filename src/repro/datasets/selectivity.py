@@ -1,0 +1,112 @@
+"""Selectivity calibration for the experiment workloads.
+
+Table 1 of the paper defines six result-set sizes per dataset, from XS
+(~1-2 % of objects) to XXL (~87-90 %), obtained by changing the query
+parameters (the skyband depth ``k`` for Sports, the neighbour threshold ``k``
+at fixed distance ``d`` for Neighbors).  The calibrators here pick those
+parameters so the realised selectivity matches the target fraction as closely
+as the (integer) parameter permits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.query.predicates import NeighborCountPredicate, SkybandPredicate
+from repro.query.table import Table
+
+#: Target positive fractions per level, taken from Table 1 (averaging the
+#: two datasets where they differ slightly).
+SELECTIVITY_LEVELS: dict[str, float] = {
+    "XS": 0.015,
+    "S": 0.10,
+    "M": 0.27,
+    "L": 0.45,
+    "XL": 0.72,
+    "XXL": 0.88,
+}
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of calibrating a query parameter to a selectivity target.
+
+    Attributes:
+        parameter: the chosen integer parameter (``k``).
+        achieved_fraction: realised positive fraction at that parameter.
+        target_fraction: the requested fraction.
+        positive_count: number of positive objects at that parameter.
+    """
+
+    parameter: int
+    achieved_fraction: float
+    target_fraction: float
+    positive_count: int
+
+
+def _level_fraction(level: str | float) -> float:
+    if isinstance(level, str):
+        if level not in SELECTIVITY_LEVELS:
+            raise ValueError(
+                f"unknown selectivity level {level!r}; known: {sorted(SELECTIVITY_LEVELS)}"
+            )
+        return SELECTIVITY_LEVELS[level]
+    fraction = float(level)
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("selectivity fraction must lie strictly between 0 and 1")
+    return fraction
+
+
+def _calibrate_threshold(counts: np.ndarray, target_fraction: float, strict: bool) -> CalibrationResult:
+    """Choose the integer threshold whose selectivity is closest to the target.
+
+    ``counts`` holds the per-object statistic (dominator count or neighbour
+    count).  When ``strict`` the predicate is ``count < k``; otherwise it is
+    ``count <= k``.
+    """
+    counts = np.asarray(counts)
+    num_objects = counts.size
+    sorted_counts = np.sort(counts)
+    candidate_ks = np.unique(counts)
+    # For "< k" the interesting thresholds are observed counts + 1; for
+    # "<= k" they are the observed counts themselves.
+    thresholds = candidate_ks + 1 if strict else candidate_ks
+    side = "left" if strict else "right"
+    positives = np.searchsorted(sorted_counts, thresholds, side=side)
+    fractions = positives / num_objects
+    best_index = int(np.argmin(np.abs(fractions - target_fraction)))
+    return CalibrationResult(
+        parameter=int(thresholds[best_index]),
+        achieved_fraction=float(fractions[best_index]),
+        target_fraction=target_fraction,
+        positive_count=int(positives[best_index]),
+    )
+
+
+def calibrate_skyband_depth(
+    table: Table,
+    x_column: str,
+    y_column: str,
+    level: str | float,
+) -> CalibrationResult:
+    """Pick the skyband depth ``k`` hitting a Table-1 selectivity level."""
+    target = _level_fraction(level)
+    probe = SkybandPredicate(x_column, y_column, k=1)
+    counts = probe.dominance_counts(table)
+    return _calibrate_threshold(counts, target, strict=True)
+
+
+def calibrate_neighbor_threshold(
+    table: Table,
+    x_column: str,
+    y_column: str,
+    distance: float,
+    level: str | float,
+) -> CalibrationResult:
+    """Pick the neighbour threshold ``k`` (at fixed ``d``) for a level."""
+    target = _level_fraction(level)
+    probe = NeighborCountPredicate(x_column, y_column, max_neighbors=0, distance=distance)
+    counts = probe.neighbor_counts(table)
+    return _calibrate_threshold(counts, target, strict=False)

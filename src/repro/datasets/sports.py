@@ -1,0 +1,86 @@
+"""Synthetic Sports (MLB pitching) dataset.
+
+The paper's Type 1 workload is a k-skyband query over yearly pitching
+statistics (~47 000 player-season tuples).  This generator produces a table
+with the same flavour: heavy-tailed, positively correlated counting stats
+(strikeouts, wins, innings pitched, ...) plus rate stats (ERA, WHIP), so that
+the two skyband attributes exhibit the strong correlation and dense Pareto
+frontier that make the query selective for small ``k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.table import Table
+from repro.sampling.rng import SeedLike, resolve_rng
+
+DEFAULT_SPORTS_ROWS = 47_000
+SKYBAND_X_COLUMN = "strikeouts"
+SKYBAND_Y_COLUMN = "wins"
+
+
+def generate_sports_table(
+    num_rows: int = DEFAULT_SPORTS_ROWS,
+    seed: SeedLike = 7,
+    name: str = "sports",
+) -> Table:
+    """Generate a synthetic pitching-statistics table.
+
+    Args:
+        num_rows: number of player-season rows (the paper uses ~47 000).
+        seed: RNG seed; the same seed always generates the same table.
+        name: table name.
+
+    Returns:
+        A :class:`~repro.query.table.Table` with columns ``player_id``,
+        ``year``, ``games``, ``innings``, ``strikeouts``, ``walks``, ``wins``,
+        ``losses``, ``saves``, ``era`` and ``whip``.
+    """
+    if num_rows <= 0:
+        raise ValueError("num_rows must be positive")
+    rng = resolve_rng(seed)
+
+    # Latent "pitcher quality" and "workload" factors drive the correlated
+    # counting stats, mimicking how real pitching lines co-vary.
+    quality = rng.normal(0.0, 1.0, size=num_rows)
+    workload = np.clip(rng.gamma(shape=2.0, scale=0.5, size=num_rows), 0.05, None)
+
+    games = np.clip(rng.poisson(12 + 18 * workload), 1, 82)
+    innings = np.clip(workload * 60 + rng.normal(0, 12, size=num_rows), 1.0, 260.0)
+    strikeout_rate = np.clip(6.5 + 2.2 * quality + rng.normal(0, 0.8, size=num_rows), 1.0, 14.0)
+    strikeouts = np.clip(innings * strikeout_rate / 9.0 + rng.normal(0, 5, size=num_rows), 0, None)
+    walk_rate = np.clip(3.4 - 0.7 * quality + rng.normal(0, 0.7, size=num_rows), 0.5, 8.0)
+    walks = np.clip(innings * walk_rate / 9.0 + rng.normal(0, 3, size=num_rows), 0, None)
+    era = np.clip(4.2 - 0.9 * quality + rng.normal(0, 0.7, size=num_rows), 0.5, 12.0)
+    whip = np.clip(1.30 - 0.18 * quality + rng.normal(0, 0.12, size=num_rows), 0.6, 2.6)
+
+    win_propensity = innings / 35.0 + 1.1 * quality + rng.normal(0, 1.0, size=num_rows)
+    wins = np.clip(np.round(np.maximum(win_propensity, 0.0)), 0, 27)
+    losses = np.clip(
+        np.round(innings / 40.0 - 0.6 * quality + rng.normal(0, 1.2, size=num_rows)), 0, 24
+    )
+    is_reliever = workload < 0.6
+    saves = np.where(
+        is_reliever, rng.poisson(4, size=num_rows), rng.poisson(0.2, size=num_rows)
+    )
+
+    years = rng.integers(1975, 2019, size=num_rows)
+    player_ids = rng.integers(0, max(num_rows // 6, 1), size=num_rows)
+
+    return Table(
+        {
+            "player_id": player_ids.astype(np.int64),
+            "year": years.astype(np.int64),
+            "games": games.astype(np.int64),
+            "innings": innings.astype(np.float64),
+            "strikeouts": strikeouts.astype(np.float64),
+            "walks": walks.astype(np.float64),
+            "wins": wins.astype(np.float64),
+            "losses": losses.astype(np.float64),
+            "saves": saves.astype(np.int64),
+            "era": era.astype(np.float64),
+            "whip": whip.astype(np.float64),
+        },
+        name=name,
+    )

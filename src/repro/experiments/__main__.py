@@ -1,0 +1,99 @@
+"""Command-line entry point for the experiment drivers.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments figure2 --scale small
+    python -m repro.experiments all --scale tiny
+
+Each experiment prints the same rows the corresponding benchmark asserts on;
+``--scale paper`` reruns at the paper's full dataset sizes (slow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    PAPER_SCALE,
+    SMALL_SCALE,
+    TINY_SCALE,
+    format_table,
+    run_figure1_active_learning,
+    run_figure2_sampling_comparison,
+    run_figure3_overhead,
+    run_figure4_num_strata,
+    run_figure4_strata_layout,
+    run_figure5_sample_split,
+    run_figure6_classifier_quality,
+    run_figure7_ql_classifiers,
+    run_figure8_ql_methods,
+    run_optimizer_ablation,
+    run_table1_selectivity,
+)
+
+SCALES = {"tiny": TINY_SCALE, "small": SMALL_SCALE, "paper": PAPER_SCALE}
+
+EXPERIMENTS = {
+    "table1": ("Table 1 — result set sizes", lambda scale: run_table1_selectivity(scale)),
+    "figure1": ("Figure 1 — active learning", lambda scale: run_figure1_active_learning(scale)),
+    "figure2": (
+        "Figure 2 — sampling comparison",
+        lambda scale: run_figure2_sampling_comparison(scale),
+    ),
+    "figure3": ("Figure 3 — LSS overhead", lambda scale: run_figure3_overhead(scale)),
+    "figure4-layout": (
+        "Figure 4 — strata layout strategies",
+        lambda scale: run_figure4_strata_layout(scale),
+    ),
+    "figure4-strata": (
+        "Figure 4 — number of strata",
+        lambda scale: run_figure4_num_strata(scale),
+    ),
+    "figure5": ("Figure 5 — sample split", lambda scale: run_figure5_sample_split(scale)),
+    "figure6": (
+        "Figure 6 — classifier quality (LSS)",
+        lambda scale: run_figure6_classifier_quality(scale),
+    ),
+    "figure7": (
+        "Figure 7 — classifier quality (quantification learning)",
+        lambda scale: run_figure7_ql_classifiers(scale),
+    ),
+    "figure8": ("Figure 8 — QLCC vs QLAC", lambda scale: run_figure8_ql_methods(scale)),
+    "ablation": (
+        "Ablation — stratification optimizers",
+        lambda scale: run_optimizer_ablation(),
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Regenerate the paper's tables and figures.")
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="experiment scale preset (default: small)",
+    )
+    arguments = parser.parse_args(argv)
+    scale = SCALES[arguments.scale]
+
+    chosen = sorted(EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
+    for name in chosen:
+        title, runner = EXPERIMENTS[name]
+        started = time.perf_counter()
+        rows = runner(scale)
+        elapsed = time.perf_counter() - started
+        print(format_table(rows, title=f"{title}  [{arguments.scale} scale, {elapsed:.1f}s]"))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

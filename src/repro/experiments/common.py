@@ -1,0 +1,148 @@
+"""Helpers shared by the per-figure experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.estimate import CountEstimate
+from repro.core.lss import LearnedStratifiedSampling
+from repro.core.lws import LearnedWeightedSampling
+from repro.experiments.config import ExperimentScale
+from repro.learning.base import Classifier
+from repro.learning.dummy import RandomScoreClassifier
+from repro.learning.knn import KNeighborsClassifier
+from repro.learning.neural import NeuralNetworkClassifier
+from repro.quantification.adjusted_count import AdjustedCount
+from repro.quantification.classify_count import ClassifyAndCount
+from repro.sampling.srs import SimpleRandomSampling
+from repro.sampling.stratified import (
+    StratifiedSampling,
+    TwoStageNeymanSampling,
+    attribute_grid_strata,
+)
+from repro.workloads.metrics import EstimateDistribution
+from repro.workloads.queries import Workload, build_workload
+from repro.workloads.runner import TrialRunner
+
+
+def build_scaled_workload(
+    dataset: str, level: str | float, scale: ExperimentScale, cache_labels: bool = True
+) -> Workload:
+    """Build a workload at the scale's configured size."""
+    num_rows = scale.sports_rows if dataset == "sports" else scale.neighbors_rows
+    return build_workload(dataset, level=level, num_rows=num_rows, cache_labels=cache_labels)
+
+
+def classifier_factory(name: str, seed: int | None = None) -> Classifier | None:
+    """The classifiers of Figures 6 and 7, by name.
+
+    ``"rf"`` returns ``None`` so the estimators use their default random
+    forest (with a per-trial seed), matching how the other classifiers are
+    re-instantiated per trial.
+    """
+    if name == "rf":
+        return None
+    if name == "knn":
+        return KNeighborsClassifier(n_neighbors=15)
+    if name == "nn":
+        return NeuralNetworkClassifier(hidden_layers=(5, 2), seed=seed)
+    if name == "random":
+        return RandomScoreClassifier(seed=seed)
+    raise ValueError(f"unknown classifier {name!r}; choose rf, knn, nn or random")
+
+
+def make_trial_function(
+    method: str,
+    num_strata: int = 4,
+    classifier_name: str = "rf",
+    learning_fraction: float = 0.25,
+    optimizer: str = "dynpgm",
+    active_learning_rounds: int = 0,
+) -> Callable[[Workload, object], CountEstimate]:
+    """Build a ``run_trial(workload, rng)`` callable for :class:`TrialRunner`.
+
+    The returned callable instantiates a fresh estimator per trial (so
+    per-trial classifier seeds stay independent) and spends
+    ``workload.sample_size(fraction)`` predicate evaluations, where the
+    fraction is bound later via :func:`run_method_grid`.
+    """
+
+    def run_trial(workload: Workload, rng, budget: int) -> CountEstimate:
+        classifier = classifier_factory(classifier_name, seed=int(rng.integers(2**31 - 1)))
+        if method == "srs":
+            return SimpleRandomSampling().estimate(
+                workload.query.object_indices(), workload.query.evaluate, budget, seed=rng
+            )
+        if method == "ssp":
+            partition = attribute_grid_strata(
+                workload.query.features(), max(int(round(np.sqrt(num_strata))), 1)
+            )
+            return StratifiedSampling().estimate(
+                partition, workload.query.evaluate, budget, seed=rng
+            )
+        if method == "ssn":
+            partition = attribute_grid_strata(
+                workload.query.features(), max(int(round(np.sqrt(num_strata))), 1)
+            )
+            return TwoStageNeymanSampling().estimate(
+                partition, workload.query.evaluate, budget, seed=rng
+            )
+        if method == "lws":
+            return LearnedWeightedSampling(
+                classifier=classifier,
+                learning_fraction=learning_fraction,
+                active_learning_rounds=active_learning_rounds,
+            ).estimate(workload.query, budget, seed=rng)
+        if method == "lss":
+            return LearnedStratifiedSampling(
+                classifier=classifier,
+                num_strata=num_strata,
+                learning_fraction=learning_fraction,
+                optimizer=optimizer,
+                active_learning_rounds=active_learning_rounds,
+            ).estimate(workload.query, budget, seed=rng)
+        if method == "qlcc":
+            return ClassifyAndCount(
+                classifier=classifier, active_learning_rounds=active_learning_rounds
+            ).estimate(workload.query, budget, seed=rng)
+        if method == "qlac":
+            return AdjustedCount(
+                classifier=classifier, active_learning_rounds=active_learning_rounds
+            ).estimate(workload.query, budget, seed=rng)
+        raise ValueError(f"unknown method {method!r}")
+
+    return run_trial
+
+
+def run_distribution(
+    workload: Workload,
+    method_label: str,
+    trial_function: Callable[[Workload, object, int], CountEstimate],
+    fraction: float,
+    num_trials: int,
+    seed: int,
+) -> EstimateDistribution:
+    """Run repeated trials of one configuration and summarise them."""
+    budget = workload.sample_size(fraction)
+    runner = TrialRunner(workload=workload, num_trials=num_trials, seed=seed)
+    return runner.run(method_label, lambda wl, rng: trial_function(wl, rng, budget))
+
+
+def distribution_row(
+    dataset: str,
+    level: str | float,
+    fraction: float,
+    distribution: EstimateDistribution,
+    **extra: object,
+) -> dict[str, object]:
+    """Flatten a distribution summary into one report row."""
+    row: dict[str, object] = {
+        "dataset": dataset,
+        "level": level,
+        "sample_pct": round(100.0 * fraction, 2),
+    }
+    row.update(extra)
+    row.update(distribution.as_row())
+    return row

@@ -1,0 +1,59 @@
+"""Experiment scale presets.
+
+The paper runs on ~47 k (Sports) and ~73 k (Neighbors) objects with dozens of
+trials per configuration.  The drivers accept an :class:`ExperimentScale` so
+the same code can run at full paper scale, at a laptop-friendly scale (the
+default for the benchmark harness), or at a tiny scale for smoke tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs controlling how large an experiment run is.
+
+    Attributes:
+        sports_rows: number of rows generated for the Sports dataset.
+        neighbors_rows: number of rows generated for the Neighbors dataset.
+        num_trials: independent trials per estimator configuration.
+        sample_fractions: sample sizes as fractions of the object count (the
+            paper uses 1 % and 2 %).
+        levels: selectivity levels to evaluate (subset of Table 1's XS…XXL).
+        seed: master seed for the whole experiment.
+    """
+
+    sports_rows: int = 12_000
+    neighbors_rows: int = 12_000
+    num_trials: int = 7
+    sample_fractions: tuple[float, ...] = (0.03,)
+    levels: tuple[str, ...] = ("S", "L")
+    seed: int = 20190621
+    datasets: tuple[str, ...] = ("neighbors", "sports")
+
+
+#: Smoke-test scale: a few seconds per experiment.
+TINY_SCALE = ExperimentScale(
+    sports_rows=2_000,
+    neighbors_rows=2_000,
+    num_trials=3,
+    sample_fractions=(0.03,),
+    levels=("S",),
+)
+
+#: Benchmark scale: every experiment finishes in tens of seconds on a laptop.
+#: Sample sizes are chosen so the absolute budget (~360 evaluations) is large
+#: enough for the learning phase to train a usable classifier — the regime
+#: the paper's 1-2% samples of 47k-73k objects correspond to.
+SMALL_SCALE = ExperimentScale()
+
+#: Full paper scale (Table 1 sizes, both sample fractions, all levels).
+PAPER_SCALE = ExperimentScale(
+    sports_rows=47_000,
+    neighbors_rows=73_000,
+    num_trials=30,
+    sample_fractions=(0.01, 0.02),
+    levels=("XS", "S", "M", "L", "XL", "XXL"),
+)

@@ -1,0 +1,79 @@
+"""Figure 4: strata layout strategy and number of strata.
+
+Two sub-experiments:
+
+* **Layout strategy** — LSS with fixed-width, fixed-height and optimal
+  (variance-minimising) strata over the score ordering.  The paper finds the
+  optimal layout clearly tighter than fixed width, with fixed height worst,
+  especially on skewed result sizes.
+* **Number of strata** — LSS vs SSP as the stratum count grows (4, 9, 25,
+  49, 100 in the paper).  More strata helps both, but LSS keeps a smaller
+  IQR throughout.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    build_scaled_workload,
+    distribution_row,
+    make_trial_function,
+    run_distribution,
+)
+from repro.experiments.config import SMALL_SCALE, ExperimentScale
+
+LAYOUTS = (("fixed_width", "fixed-width"), ("fixed_height", "fixed-height"), ("dynpgm", "optimal"))
+
+
+def run_figure4_strata_layout(
+    scale: ExperimentScale = SMALL_SCALE,
+    num_strata: int = 4,
+) -> list[dict[str, object]]:
+    """Compare LSS strata layout strategies (Figure 4, layout facet)."""
+    rows: list[dict[str, object]] = []
+    for dataset in scale.datasets:
+        for level in scale.levels:
+            workload = build_scaled_workload(dataset, level, scale)
+            for fraction in scale.sample_fractions:
+                for optimizer, label in LAYOUTS:
+                    trial = make_trial_function("lss", num_strata=num_strata, optimizer=optimizer)
+                    distribution = run_distribution(
+                        workload, f"lss-{label}", trial, fraction, scale.num_trials, scale.seed
+                    )
+                    rows.append(
+                        distribution_row(dataset, level, fraction, distribution, layout=label)
+                    )
+    return rows
+
+
+def run_figure4_num_strata(
+    scale: ExperimentScale = SMALL_SCALE,
+    strata_counts: tuple[int, ...] = (4, 9, 25),
+    methods: tuple[str, ...] = ("lss", "ssp"),
+) -> list[dict[str, object]]:
+    """Compare LSS and SSP across stratum counts (Figure 4, strata facet)."""
+    rows: list[dict[str, object]] = []
+    for dataset in scale.datasets:
+        for level in scale.levels:
+            workload = build_scaled_workload(dataset, level, scale)
+            for fraction in scale.sample_fractions:
+                for num_strata in strata_counts:
+                    for method in methods:
+                        trial = make_trial_function(method, num_strata=num_strata)
+                        distribution = run_distribution(
+                            workload,
+                            f"{method}-H{num_strata}",
+                            trial,
+                            fraction,
+                            scale.num_trials,
+                            scale.seed,
+                        )
+                        rows.append(
+                            distribution_row(
+                                dataset,
+                                level,
+                                fraction,
+                                distribution,
+                                num_strata=num_strata,
+                            )
+                        )
+    return rows

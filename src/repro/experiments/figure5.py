@@ -1,0 +1,50 @@
+"""Figure 5: splitting the budget between learning and sampling.
+
+The paper varies the fraction of the total sample devoted to classifier
+training (10 %, 25 %, 50 %, 75 %) and finds the middle splits (25 %, 50 %)
+most reliable: too little training data yields a poor ordering, too much
+starves the sampling phase.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    build_scaled_workload,
+    distribution_row,
+    make_trial_function,
+    run_distribution,
+)
+from repro.experiments.config import SMALL_SCALE, ExperimentScale
+
+SPLITS = (0.10, 0.25, 0.50, 0.75)
+
+
+def run_figure5_sample_split(
+    scale: ExperimentScale = SMALL_SCALE,
+    splits: tuple[float, ...] = SPLITS,
+    num_strata: int = 4,
+) -> list[dict[str, object]]:
+    """Regenerate Figure 5 at the requested scale."""
+    rows: list[dict[str, object]] = []
+    for dataset in scale.datasets:
+        for level in scale.levels:
+            workload = build_scaled_workload(dataset, level, scale)
+            for fraction in scale.sample_fractions:
+                for split in splits:
+                    trial = make_trial_function(
+                        "lss", num_strata=num_strata, learning_fraction=split
+                    )
+                    distribution = run_distribution(
+                        workload,
+                        f"lss-split{int(split * 100)}",
+                        trial,
+                        fraction,
+                        scale.num_trials,
+                        scale.seed,
+                    )
+                    rows.append(
+                        distribution_row(
+                            dataset, level, fraction, distribution, split_pct=int(split * 100)
+                        )
+                    )
+    return rows

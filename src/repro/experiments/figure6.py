@@ -1,0 +1,52 @@
+"""Figure 6: effect of classifier quality on LSS.
+
+LSS is run with four classifiers of very different quality — k-nearest
+neighbours, a deliberately weak two-layer neural network, a random forest,
+and a dummy classifier producing random scores.  The paper's finding: better
+classifiers give tighter estimates, but even the random classifier only
+degrades LSS to the quality of ordinary stratified sampling (no bias, no
+blow-up), because LSS uses only the score ordering.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    build_scaled_workload,
+    distribution_row,
+    make_trial_function,
+    run_distribution,
+)
+from repro.experiments.config import SMALL_SCALE, ExperimentScale
+
+FIGURE6_CLASSIFIERS = ("knn", "nn", "rf", "random")
+
+
+def run_figure6_classifier_quality(
+    scale: ExperimentScale = SMALL_SCALE,
+    classifiers: tuple[str, ...] = FIGURE6_CLASSIFIERS,
+    num_strata: int = 4,
+) -> list[dict[str, object]]:
+    """Regenerate Figure 6 at the requested scale."""
+    rows: list[dict[str, object]] = []
+    for dataset in scale.datasets:
+        for level in scale.levels:
+            workload = build_scaled_workload(dataset, level, scale)
+            for fraction in scale.sample_fractions:
+                for classifier_name in classifiers:
+                    trial = make_trial_function(
+                        "lss", num_strata=num_strata, classifier_name=classifier_name
+                    )
+                    distribution = run_distribution(
+                        workload,
+                        f"lss-{classifier_name}",
+                        trial,
+                        fraction,
+                        scale.num_trials,
+                        scale.seed,
+                    )
+                    rows.append(
+                        distribution_row(
+                            dataset, level, fraction, distribution, classifier=classifier_name
+                        )
+                    )
+    return rows

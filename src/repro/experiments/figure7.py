@@ -1,0 +1,52 @@
+"""Figure 7: quantification learning with different classifiers.
+
+The same classifier sweep as Figure 6, applied to the learning-only
+estimators.  The paper's point of contrast: a weak classifier (the small
+neural network in particular) can make quantification learning arbitrarily
+wrong, whereas the equivalent LSS configuration stays well-behaved.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    build_scaled_workload,
+    distribution_row,
+    make_trial_function,
+    run_distribution,
+)
+from repro.experiments.config import SMALL_SCALE, ExperimentScale
+from repro.experiments.figure6 import FIGURE6_CLASSIFIERS
+
+
+def run_figure7_ql_classifiers(
+    scale: ExperimentScale = SMALL_SCALE,
+    classifiers: tuple[str, ...] = FIGURE6_CLASSIFIERS,
+    methods: tuple[str, ...] = ("qlcc", "qlac"),
+) -> list[dict[str, object]]:
+    """Regenerate Figure 7 at the requested scale."""
+    rows: list[dict[str, object]] = []
+    for dataset in scale.datasets:
+        for level in scale.levels:
+            workload = build_scaled_workload(dataset, level, scale)
+            for fraction in scale.sample_fractions:
+                for method in methods:
+                    for classifier_name in classifiers:
+                        trial = make_trial_function(method, classifier_name=classifier_name)
+                        distribution = run_distribution(
+                            workload,
+                            f"{method}-{classifier_name}",
+                            trial,
+                            fraction,
+                            scale.num_trials,
+                            scale.seed,
+                        )
+                        rows.append(
+                            distribution_row(
+                                dataset,
+                                level,
+                                fraction,
+                                distribution,
+                                classifier=classifier_name,
+                            )
+                        )
+    return rows

@@ -1,0 +1,43 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render a list of row dictionaries as an aligned text table.
+
+    Column order follows the keys of the first row; missing values render as
+    empty cells.  This mirrors how the paper reports each figure's series as
+    one row per configuration.
+    """
+    if not rows:
+        return (title + "\n(no rows)") if title else "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(value.ljust(width) for value, width in zip(line, widths))
+        for line in rendered
+    )
+    parts = [title, header, separator, body] if title else [header, separator, body]
+    return "\n".join(part for part in parts if part)
+
+
+def print_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(rows, title))

@@ -1,0 +1,60 @@
+"""Dependency-free classifier library used by the learn-to-sample methods.
+
+The paper uses scikit-learn's classifiers out of the box; since the methods
+only require a scoring function ``g : O -> [0, 1]`` reflecting the
+classifier's confidence, this package provides small numpy implementations of
+the same algorithms (kNN, random forest, a two-layer neural network) plus the
+supporting machinery: feature scaling, classification metrics, k-fold cross
+validation, and uncertainty-sampling active learning.
+"""
+
+from repro.learning.active import ActiveLearningResult, augment_training_set, uncertainty_ranking
+from repro.learning.base import Classifier, check_features, check_labels
+from repro.learning.dummy import MajorityClassifier, RandomScoreClassifier
+from repro.learning.forest import RandomForestClassifier
+from repro.learning.knn import KNeighborsClassifier
+from repro.learning.logistic import LogisticRegressionClassifier
+from repro.learning.metrics import (
+    ClassificationReport,
+    accuracy,
+    confusion_matrix,
+    false_positive_rate,
+    roc_auc,
+    true_positive_rate,
+)
+from repro.learning.model_selection import (
+    KFold,
+    cross_validated_rates,
+    cross_validated_scores,
+    train_test_split,
+)
+from repro.learning.neural import NeuralNetworkClassifier
+from repro.learning.scaling import StandardScaler
+from repro.learning.tree import DecisionTreeClassifier
+
+__all__ = [
+    "ActiveLearningResult",
+    "Classifier",
+    "ClassificationReport",
+    "DecisionTreeClassifier",
+    "KFold",
+    "KNeighborsClassifier",
+    "LogisticRegressionClassifier",
+    "MajorityClassifier",
+    "NeuralNetworkClassifier",
+    "RandomForestClassifier",
+    "RandomScoreClassifier",
+    "StandardScaler",
+    "accuracy",
+    "augment_training_set",
+    "check_features",
+    "check_labels",
+    "confusion_matrix",
+    "cross_validated_rates",
+    "cross_validated_scores",
+    "false_positive_rate",
+    "roc_auc",
+    "train_test_split",
+    "true_positive_rate",
+    "uncertainty_ranking",
+]

@@ -1,0 +1,117 @@
+"""Uncertainty-sampling active learning.
+
+Section 3.2 of the paper augments the classifier's training data by labelling
+the objects the current classifier is most uncertain about (score closest to
+0.5).  One augmentation/retraining round is recommended in practice; the
+helpers here support any number of rounds and also back the Figure 1
+decision-boundary illustration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.learning.base import Classifier, check_features, check_labels
+from repro.sampling.rng import SeedLike, as_index_array, resolve_rng, sample_without_replacement
+
+
+def uncertainty_ranking(scores: np.ndarray) -> np.ndarray:
+    """Order objects by how close their score is to the 0.5 toss-up point.
+
+    Returns indices into ``scores`` sorted from most to least uncertain.
+    """
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    return np.argsort(np.abs(scores - 0.5), kind="stable")
+
+
+@dataclass
+class ActiveLearningResult:
+    """Outcome of one or more uncertainty-sampling augmentation rounds.
+
+    Attributes:
+        classifier: the final retrained classifier.
+        labelled_indices: all object indices labelled so far (initial sample
+            plus every augmentation batch), in labelling order.
+        labels: the predicate outcomes for ``labelled_indices``.
+        rounds: number of augmentation rounds performed.
+        history: per-round record of which indices were added.
+    """
+
+    classifier: Classifier
+    labelled_indices: np.ndarray
+    labels: np.ndarray
+    rounds: int
+    history: list[np.ndarray]
+
+
+def augment_training_set(
+    classifier: Classifier,
+    features: np.ndarray,
+    candidate_indices: np.ndarray,
+    labelled_indices: np.ndarray,
+    labels: np.ndarray,
+    oracle,
+    batch_size: int,
+    rounds: int = 1,
+    pool_size: int | None = 4096,
+    seed: SeedLike = None,
+) -> ActiveLearningResult:
+    """Run uncertainty-sampling augmentation rounds and retrain.
+
+    Args:
+        classifier: an (already fitted or unfitted) classifier; it is
+            re-fitted from scratch on the growing labelled set each round.
+        features: feature matrix for the whole object set.
+        candidate_indices: indices eligible for labelling (typically
+            ``O \\ S0``).
+        labelled_indices: indices labelled so far.
+        labels: labels aligned with ``labelled_indices``.
+        oracle: expensive predicate, called on each newly selected batch.
+        batch_size: number of objects labelled per round.
+        rounds: number of augmentation rounds (the paper recommends one).
+        pool_size: evaluate the scoring function on a random pool of at most
+            this many candidates instead of all of them, as the paper does;
+            ``None`` scores every candidate.
+        seed: RNG seed or generator.
+    """
+    features = check_features(features)
+    candidate_indices = as_index_array(candidate_indices)
+    labelled_indices = as_index_array(labelled_indices)
+    labels = check_labels(labels, labelled_indices.size)
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    rng = resolve_rng(seed)
+
+    model = classifier.clone()
+    model.fit(features[labelled_indices], labels)
+    remaining = np.setdiff1d(candidate_indices, labelled_indices, assume_unique=False)
+    history: list[np.ndarray] = []
+
+    for _ in range(rounds):
+        if remaining.size == 0:
+            break
+        if pool_size is not None and remaining.size > pool_size:
+            pool = sample_without_replacement(remaining, pool_size, seed=rng)
+        else:
+            pool = remaining
+        scores = model.predict_scores(features[pool])
+        take = min(batch_size, pool.size)
+        selected = pool[uncertainty_ranking(scores)[:take]]
+        new_labels = np.asarray(oracle(selected), dtype=np.float64)
+        labelled_indices = np.concatenate([labelled_indices, selected])
+        labels = np.concatenate([labels, new_labels])
+        remaining = np.setdiff1d(remaining, selected, assume_unique=False)
+        history.append(selected)
+        if np.unique(labels).size >= 2:
+            model = classifier.clone()
+            model.fit(features[labelled_indices], labels)
+
+    return ActiveLearningResult(
+        classifier=model,
+        labelled_indices=labelled_indices,
+        labels=labels,
+        rounds=len(history),
+        history=history,
+    )

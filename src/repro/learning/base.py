@@ -1,0 +1,84 @@
+"""Classifier interface shared by every learner in the library.
+
+Learn-to-sample only needs two things from a classifier: it can be fitted on
+a labelled sample, and it produces a confidence score ``g(o) ∈ [0, 1]`` for
+each object (1 = confidently positive, 0 = confidently negative, 0.5 = a
+toss-up).  :class:`Classifier` fixes that contract; all concrete learners in
+this package implement it.
+"""
+
+from __future__ import annotations
+
+import copy
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+def check_features(features: np.ndarray) -> np.ndarray:
+    """Validate and normalise a feature matrix to 2-d float64."""
+    array = np.asarray(features, dtype=np.float64)
+    if array.ndim == 1:
+        array = array[:, None]
+    if array.ndim != 2:
+        raise ValueError(f"features must be a 2-d array, got shape {array.shape}")
+    if array.shape[0] == 0:
+        raise ValueError("features must contain at least one row")
+    if not np.all(np.isfinite(array)):
+        raise ValueError("features must be finite")
+    return array
+
+
+def check_labels(labels: np.ndarray, num_rows: int | None = None) -> np.ndarray:
+    """Validate binary labels and normalise them to a float64 0/1 vector."""
+    array = np.asarray(labels, dtype=np.float64).ravel()
+    if num_rows is not None and array.size != num_rows:
+        raise ValueError(f"expected {num_rows} labels, got {array.size}")
+    unique = np.unique(array)
+    if not np.all(np.isin(unique, [0.0, 1.0])):
+        raise ValueError(f"labels must be binary (0/1), got values {unique}")
+    return array
+
+
+class Classifier(ABC):
+    """Abstract binary classifier with a confidence score.
+
+    Concrete learners store their hyper-parameters in ``__init__`` and their
+    fitted state in attributes with a trailing underscore, mirroring the
+    scikit-learn convention so that the rest of the code base reads
+    naturally.
+    """
+
+    @abstractmethod
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "Classifier":
+        """Fit the classifier on a labelled sample and return ``self``."""
+
+    @abstractmethod
+    def predict_scores(self, features: np.ndarray) -> np.ndarray:
+        """Return the scoring function ``g`` evaluated on each row.
+
+        Scores lie in ``[0, 1]``; larger means more confidently positive.
+        """
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Return hard 0/1 predictions by thresholding the scores."""
+        return (self.predict_scores(features) >= threshold).astype(np.float64)
+
+    def clone(self) -> "Classifier":
+        """Return an unfitted copy with identical hyper-parameters."""
+        fresh = copy.deepcopy(self)
+        for attribute in list(vars(fresh)):
+            if attribute.endswith("_") and not attribute.endswith("__"):
+                delattr(fresh, attribute)
+        return fresh
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether ``fit`` has been called successfully."""
+        return any(
+            name.endswith("_") and not name.endswith("__") for name in vars(self)
+        )
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError(f"{type(self).__name__} must be fitted before predicting")

@@ -1,0 +1,54 @@
+"""Degenerate classifiers used as worst-case baselines.
+
+Figure 6 of the paper evaluates LSS with a "Random" classifier that emits
+arbitrary random probabilities — the worst case for a learned sampling
+design, because the score-induced ordering carries no information about the
+labels.  :class:`RandomScoreClassifier` reproduces it; the complementary
+:class:`MajorityClassifier` always outputs the training majority class with
+full confidence, which stresses the opposite failure mode (an over-confident
+but uninformative classifier).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learning.base import Classifier, check_features, check_labels
+
+
+class RandomScoreClassifier(Classifier):
+    """Classifier that produces uniformly random scores.
+
+    The scores are drawn from ``U[0, 1]`` independently of the features, so
+    any sampling design derived from them degrades to (roughly) simple
+    random behaviour — exactly the robustness scenario the paper tests.
+    """
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self.seed = seed
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomScoreClassifier":
+        features = check_features(features)
+        check_labels(labels, features.shape[0])
+        self.rng_ = np.random.default_rng(self.seed)
+        return self
+
+    def predict_scores(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        features = check_features(features)
+        return self.rng_.uniform(0.0, 1.0, size=features.shape[0])
+
+
+class MajorityClassifier(Classifier):
+    """Classifier that confidently predicts the training majority class."""
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MajorityClassifier":
+        features = check_features(features)
+        labels = check_labels(labels, features.shape[0])
+        self.majority_ = float(labels.mean() >= 0.5)
+        return self
+
+    def predict_scores(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        features = check_features(features)
+        return np.full(features.shape[0], self.majority_, dtype=np.float64)

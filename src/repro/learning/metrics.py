@@ -1,0 +1,119 @@
+"""Classification metrics.
+
+Quantification learning's Adjusted Count estimator (eq. 2) requires
+cross-validated true- and false-positive-rate estimates, and the experiment
+harness reports classifier accuracy/AUC to explain why a given sampling
+design worked well or poorly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.learning.base import check_labels
+
+
+def confusion_matrix(true_labels: np.ndarray, predicted_labels: np.ndarray) -> np.ndarray:
+    """Return the 2x2 confusion matrix ``[[tn, fp], [fn, tp]]``."""
+    true_labels = check_labels(true_labels)
+    predicted_labels = check_labels(predicted_labels, true_labels.size)
+    tp = float(np.sum((true_labels == 1) & (predicted_labels == 1)))
+    tn = float(np.sum((true_labels == 0) & (predicted_labels == 0)))
+    fp = float(np.sum((true_labels == 0) & (predicted_labels == 1)))
+    fn = float(np.sum((true_labels == 1) & (predicted_labels == 0)))
+    return np.array([[tn, fp], [fn, tp]])
+
+
+def accuracy(true_labels: np.ndarray, predicted_labels: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    true_labels = check_labels(true_labels)
+    predicted_labels = check_labels(predicted_labels, true_labels.size)
+    return float(np.mean(true_labels == predicted_labels))
+
+
+def true_positive_rate(true_labels: np.ndarray, predicted_labels: np.ndarray) -> float:
+    """TPR (recall): fraction of actual positives predicted positive.
+
+    Returns 0.0 when there are no actual positives, which is the convention
+    used by the Adjusted Count estimator (the adjustment then falls back to
+    the raw observed count).
+    """
+    matrix = confusion_matrix(true_labels, predicted_labels)
+    actual_positives = matrix[1].sum()
+    if actual_positives == 0:
+        return 0.0
+    return float(matrix[1, 1] / actual_positives)
+
+
+def false_positive_rate(true_labels: np.ndarray, predicted_labels: np.ndarray) -> float:
+    """FPR: fraction of actual negatives predicted positive."""
+    matrix = confusion_matrix(true_labels, predicted_labels)
+    actual_negatives = matrix[0].sum()
+    if actual_negatives == 0:
+        return 0.0
+    return float(matrix[0, 1] / actual_negatives)
+
+
+def roc_auc(true_labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank statistic.
+
+    Equivalent to the probability that a random positive receives a higher
+    score than a random negative (ties count one half).  Returns 0.5 when the
+    labels are single-class, matching the "no information" convention.
+    """
+    true_labels = check_labels(true_labels)
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if scores.size != true_labels.size:
+        raise ValueError("scores and labels must be aligned")
+    positives = int(true_labels.sum())
+    negatives = true_labels.size - positives
+    if positives == 0 or negatives == 0:
+        return 0.5
+    # Midranks handle ties exactly.
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(scores.size, dtype=np.float64)
+    sorted_scores = scores[order]
+    position = 0
+    while position < scores.size:
+        tie_end = position
+        while tie_end + 1 < scores.size and sorted_scores[tie_end + 1] == sorted_scores[position]:
+            tie_end += 1
+        ranks[order[position : tie_end + 1]] = (position + tie_end) / 2.0 + 1.0
+        position = tie_end + 1
+    positive_rank_sum = ranks[true_labels == 1].sum()
+    return float(
+        (positive_rank_sum - positives * (positives + 1) / 2.0) / (positives * negatives)
+    )
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Summary of a classifier's performance on a labelled set."""
+
+    accuracy: float
+    true_positive_rate: float
+    false_positive_rate: float
+    auc: float
+    positives: int
+    negatives: int
+
+    @classmethod
+    def from_scores(
+        cls,
+        true_labels: np.ndarray,
+        scores: np.ndarray,
+        threshold: float = 0.5,
+    ) -> "ClassificationReport":
+        true_labels = check_labels(true_labels)
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        predictions = (scores >= threshold).astype(np.float64)
+        return cls(
+            accuracy=accuracy(true_labels, predictions),
+            true_positive_rate=true_positive_rate(true_labels, predictions),
+            false_positive_rate=false_positive_rate(true_labels, predictions),
+            auc=roc_auc(true_labels, scores),
+            positives=int(true_labels.sum()),
+            negatives=int(true_labels.size - true_labels.sum()),
+        )

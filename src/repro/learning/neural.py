@@ -1,0 +1,120 @@
+"""Small feed-forward neural-network classifier.
+
+The paper's "NN" classifier is a simple two-layer network with (5, 2)
+intermediate layers; it is intentionally weak, and Figures 6 and 7 use it to
+show that LSS stays robust while quantification learning can fail badly.
+This implementation is a full-batch Adam-trained multilayer perceptron with
+tanh hidden activations and a sigmoid output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learning.base import Classifier, check_features, check_labels
+from repro.learning.logistic import _sigmoid
+from repro.learning.scaling import StandardScaler
+
+
+class NeuralNetworkClassifier(Classifier):
+    """Multilayer perceptron for binary classification.
+
+    Args:
+        hidden_layers: sizes of the hidden layers (the paper uses ``(5, 2)``).
+        learning_rate: Adam step size.
+        n_epochs: number of full-batch epochs.
+        l2_penalty: L2 regularisation on the weights.
+        seed: RNG seed for weight initialisation.
+        standardize: whether to standardise features internally.
+    """
+
+    def __init__(
+        self,
+        hidden_layers: tuple[int, ...] = (5, 2),
+        learning_rate: float = 0.01,
+        n_epochs: int = 300,
+        l2_penalty: float = 1e-4,
+        seed: int | None = 0,
+        standardize: bool = True,
+    ) -> None:
+        if any(size <= 0 for size in hidden_layers):
+            raise ValueError("hidden layer sizes must be positive")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if n_epochs <= 0:
+            raise ValueError("n_epochs must be positive")
+        self.hidden_layers = tuple(hidden_layers)
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.l2_penalty = l2_penalty
+        self.seed = seed
+        self.standardize = standardize
+
+    def _initialise(self, n_features: int, rng: np.random.Generator) -> None:
+        sizes = (n_features, *self.hidden_layers, 1)
+        self.weights_ = []
+        self.biases_ = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / (fan_in + fan_out))
+            self.weights_.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+
+    def _forward(self, features: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        """Return the per-layer activations and the output probabilities."""
+        activations = [features]
+        hidden = features
+        for layer in range(len(self.weights_) - 1):
+            hidden = np.tanh(hidden @ self.weights_[layer] + self.biases_[layer])
+            activations.append(hidden)
+        logits = hidden @ self.weights_[-1] + self.biases_[-1]
+        return activations, _sigmoid(logits).ravel()
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "NeuralNetworkClassifier":
+        features = check_features(features)
+        labels = check_labels(labels, features.shape[0])
+        self.scaler_ = StandardScaler().fit(features) if self.standardize else None
+        if self.scaler_ is not None:
+            features = self.scaler_.transform(features)
+        rng = np.random.default_rng(self.seed)
+        self._initialise(features.shape[1], rng)
+
+        n_rows = features.shape[0]
+        first_moment = [np.zeros_like(w) for w in self.weights_]
+        second_moment = [np.zeros_like(w) for w in self.weights_]
+        first_moment_b = [np.zeros_like(b) for b in self.biases_]
+        second_moment_b = [np.zeros_like(b) for b in self.biases_]
+        beta1, beta2, epsilon = 0.9, 0.999, 1e-8
+
+        for epoch in range(1, self.n_epochs + 1):
+            activations, probabilities = self._forward(features)
+            # Binary cross-entropy gradient at the sigmoid output.
+            delta = (probabilities - labels)[:, None] / n_rows
+            gradients_w: list[np.ndarray] = [np.empty(0)] * len(self.weights_)
+            gradients_b: list[np.ndarray] = [np.empty(0)] * len(self.biases_)
+            for layer in reversed(range(len(self.weights_))):
+                gradients_w[layer] = (
+                    activations[layer].T @ delta + self.l2_penalty * self.weights_[layer]
+                )
+                gradients_b[layer] = delta.sum(axis=0)
+                if layer > 0:
+                    upstream = delta @ self.weights_[layer].T
+                    delta = upstream * (1.0 - activations[layer] ** 2)
+            for layer in range(len(self.weights_)):
+                for params, grads, m, v in (
+                    (self.weights_, gradients_w, first_moment, second_moment),
+                    (self.biases_, gradients_b, first_moment_b, second_moment_b),
+                ):
+                    m[layer] = beta1 * m[layer] + (1.0 - beta1) * grads[layer]
+                    v[layer] = beta2 * v[layer] + (1.0 - beta2) * grads[layer] ** 2
+                    m_hat = m[layer] / (1.0 - beta1**epoch)
+                    v_hat = v[layer] / (1.0 - beta2**epoch)
+                    params[layer] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + epsilon)
+        return self
+
+    def predict_scores(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        features = check_features(features)
+        if self.scaler_ is not None:
+            features = self.scaler_.transform(features)
+        _, probabilities = self._forward(features)
+        return probabilities

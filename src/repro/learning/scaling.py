@@ -1,0 +1,40 @@
+"""Feature standardisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learning.base import check_features
+
+
+class StandardScaler:
+    """Standardise features to zero mean and unit variance.
+
+    Distance-based learners (kNN) and gradient-based learners (logistic
+    regression, the neural network) are sensitive to feature scales; this
+    scaler is applied internally by those learners so callers can hand in raw
+    attribute values.
+    """
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        features = check_features(features)
+        self.mean_ = features.mean(axis=0)
+        scale = features.std(axis=0)
+        # Constant columns would otherwise divide by zero; they carry no
+        # information, so map them to zero instead.
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        features = check_features(features)
+        if features.shape[1] != self.mean_.size:
+            raise ValueError(
+                f"expected {self.mean_.size} features, got {features.shape[1]}"
+            )
+        return (features - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

@@ -1,0 +1,219 @@
+"""CART decision-tree classifier.
+
+The random forest of :mod:`repro.learning.forest` (the paper's default
+classifier for LWS/LSS/QL) is an ensemble of these trees.  The tree grows
+greedily by minimising the weighted Gini impurity of each split; leaf values
+are positive fractions, which makes a single tree's score the empirical
+positive probability in the leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.learning.base import Classifier, check_features, check_labels
+
+
+@dataclass
+class _TreeNodes:
+    """Flat array representation of a fitted tree."""
+
+    feature: list[int] = field(default_factory=list)
+    threshold: list[float] = field(default_factory=list)
+    left: list[int] = field(default_factory=list)
+    right: list[int] = field(default_factory=list)
+    value: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> int:
+        """Append a new (leaf) node and return its id."""
+        self.feature.append(-1)
+        self.threshold.append(np.nan)
+        self.left.append(-1)
+        self.right.append(-1)
+        self.value.append(value)
+        return len(self.value) - 1
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        return {
+            "feature": np.asarray(self.feature, dtype=np.int64),
+            "threshold": np.asarray(self.threshold, dtype=np.float64),
+            "left": np.asarray(self.left, dtype=np.int64),
+            "right": np.asarray(self.right, dtype=np.int64),
+            "value": np.asarray(self.value, dtype=np.float64),
+        }
+
+
+def _best_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[int, float, float] | None:
+    """Find the (feature, threshold) pair minimising weighted Gini impurity.
+
+    Returns ``None`` when no valid split exists (all candidate features are
+    constant or the leaf-size constraint cannot be met).
+    """
+    n = labels.size
+    best_score = np.inf
+    best: tuple[int, float, float] | None = None
+    for feature in feature_indices:
+        column = features[:, feature]
+        order = np.argsort(column, kind="stable")
+        sorted_values = column[order]
+        sorted_labels = labels[order]
+        positives_prefix = np.cumsum(sorted_labels)
+        total_positives = positives_prefix[-1]
+
+        left_counts = np.arange(1, n)
+        right_counts = n - left_counts
+        left_positives = positives_prefix[:-1]
+        right_positives = total_positives - left_positives
+
+        valid = sorted_values[1:] > sorted_values[:-1]
+        valid &= left_counts >= min_samples_leaf
+        valid &= right_counts >= min_samples_leaf
+        if not valid.any():
+            continue
+
+        left_fraction = left_positives / left_counts
+        right_fraction = right_positives / right_counts
+        gini_left = 2.0 * left_fraction * (1.0 - left_fraction)
+        gini_right = 2.0 * right_fraction * (1.0 - right_fraction)
+        weighted = (left_counts * gini_left + right_counts * gini_right) / n
+        weighted[~valid] = np.inf
+
+        position = int(np.argmin(weighted))
+        if weighted[position] < best_score:
+            best_score = float(weighted[position])
+            threshold = float(
+                (sorted_values[position] + sorted_values[position + 1]) / 2.0
+            )
+            best = (int(feature), threshold, best_score)
+    return best
+
+
+class DecisionTreeClassifier(Classifier):
+    """Binary CART classifier with Gini impurity.
+
+    Args:
+        max_depth: maximum tree depth (``None`` means unbounded).
+        min_samples_split: minimum number of samples required to attempt a
+            split.
+        min_samples_leaf: minimum number of samples in each child.
+        max_features: number of features examined at each split — an int, a
+            float fraction, ``"sqrt"``, or ``None`` for all features.  Random
+            forests use ``"sqrt"`` to decorrelate their trees.
+        seed: RNG seed controlling the per-split feature subsets.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = 12,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        max_features: int | float | str | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+
+    def _resolve_max_features(self, num_features: int) -> int:
+        if self.max_features is None:
+            return num_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(num_features)))
+        if isinstance(self.max_features, float):
+            return max(1, min(num_features, int(round(self.max_features * num_features))))
+        return max(1, min(num_features, int(self.max_features)))
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        features = check_features(features)
+        labels = check_labels(labels, features.shape[0])
+        rng = np.random.default_rng(self.seed)
+        num_features = features.shape[1]
+        features_per_split = self._resolve_max_features(num_features)
+        max_depth = self.max_depth if self.max_depth is not None else np.inf
+
+        nodes = _TreeNodes()
+        root = nodes.add(float(labels.mean()))
+        # Depth-first growth over (node_id, row_indices, depth) work items.
+        stack: list[tuple[int, np.ndarray, int]] = [(root, np.arange(labels.size), 0)]
+        while stack:
+            node_id, rows, depth = stack.pop()
+            node_labels = labels[rows]
+            positive_fraction = float(node_labels.mean())
+            nodes.value[node_id] = positive_fraction
+            is_pure = positive_fraction in (0.0, 1.0)
+            if (
+                depth >= max_depth
+                or rows.size < self.min_samples_split
+                or rows.size < 2 * self.min_samples_leaf
+                or is_pure
+            ):
+                continue
+            if features_per_split < num_features:
+                candidate_features = rng.choice(
+                    num_features, size=features_per_split, replace=False
+                )
+            else:
+                candidate_features = np.arange(num_features)
+            split = _best_split(
+                features[rows], node_labels, candidate_features, self.min_samples_leaf
+            )
+            if split is None:
+                continue
+            feature, threshold, _ = split
+            goes_left = features[rows, feature] <= threshold
+            left_rows = rows[goes_left]
+            right_rows = rows[~goes_left]
+            if left_rows.size == 0 or right_rows.size == 0:
+                continue
+            left_id = nodes.add(float(labels[left_rows].mean()))
+            right_id = nodes.add(float(labels[right_rows].mean()))
+            nodes.feature[node_id] = feature
+            nodes.threshold[node_id] = threshold
+            nodes.left[node_id] = left_id
+            nodes.right[node_id] = right_id
+            stack.append((left_id, left_rows, depth + 1))
+            stack.append((right_id, right_rows, depth + 1))
+
+        self.nodes_ = nodes.as_arrays()
+        self.num_features_ = num_features
+        return self
+
+    def predict_scores(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        features = check_features(features)
+        if features.shape[1] != self.num_features_:
+            raise ValueError(
+                f"expected {self.num_features_} features, got {features.shape[1]}"
+            )
+        nodes = self.nodes_
+        assignments = np.zeros(features.shape[0], dtype=np.int64)
+        # Route all rows level by level; internal nodes send rows to a child,
+        # leaves keep them.  Terminates because children always have larger
+        # ids than their parents.
+        active = nodes["feature"][assignments] >= 0
+        while active.any():
+            rows = np.flatnonzero(active)
+            node_ids = assignments[rows]
+            feature = nodes["feature"][node_ids]
+            threshold = nodes["threshold"][node_ids]
+            goes_left = features[rows, feature] <= threshold
+            assignments[rows] = np.where(
+                goes_left, nodes["left"][node_ids], nodes["right"][node_ids]
+            )
+            active = nodes["feature"][assignments] >= 0
+        return nodes["value"][assignments]
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the fitted tree."""
+        self._require_fitted()
+        return int(self.nodes_["value"].size)

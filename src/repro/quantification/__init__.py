@@ -1,0 +1,16 @@
+"""Quantification-learning estimators (the learning-only baselines).
+
+Section 3.2 of the paper adapts quantification learning to the counting
+problem: train a classifier on a labelled sample and estimate the count from
+its predictions on the rest of the objects, either by simply counting
+predicted positives (Classify-and-Count) or by correcting with
+cross-validated true/false positive rates (Adjusted Count).  These estimators
+are fast but provide no confidence intervals and are highly sensitive to
+classifier quality — which is exactly the contrast the learn-to-sample
+methods are evaluated against.
+"""
+
+from repro.quantification.adjusted_count import AdjustedCount, adjusted_count
+from repro.quantification.classify_count import ClassifyAndCount
+
+__all__ = ["AdjustedCount", "ClassifyAndCount", "adjusted_count"]

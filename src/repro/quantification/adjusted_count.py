@@ -1,0 +1,147 @@
+"""Adjusted Count (QLAC)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimate import CountEstimate
+from repro.core.learning_phase import run_learning_phase
+from repro.learning.base import Classifier
+from repro.learning.model_selection import cross_validated_rates
+from repro.query.counting import CountingQuery
+from repro.sampling.rng import SeedLike, resolve_rng
+
+
+def adjusted_count(
+    observed_count: float,
+    test_size: int,
+    true_positive_rate: float,
+    false_positive_rate: float,
+    minimum_rate_gap: float = 0.05,
+) -> float:
+    """Apply the Adjusted Count correction (eq. 2 of the paper).
+
+    ``C_adj = (C_obs - fpr · |test|) / (tpr - fpr)``, clipped to the feasible
+    range ``[0, |test|]``.  When the estimated rates are too close together
+    the correction explodes, so the function falls back to the raw observed
+    count below ``minimum_rate_gap`` — the same guard the quantification
+    learning literature recommends.
+    """
+    if test_size < 0:
+        raise ValueError("test_size must be non-negative")
+    gap = true_positive_rate - false_positive_rate
+    if abs(gap) < minimum_rate_gap:
+        return float(np.clip(observed_count, 0.0, test_size))
+    corrected = (observed_count - false_positive_rate * test_size) / gap
+    return float(np.clip(corrected, 0.0, test_size))
+
+
+class AdjustedCount:
+    """Classify-and-Count corrected by cross-validated TPR/FPR estimates.
+
+    Args:
+        classifier: classifier to train (default random forest).
+        threshold: score threshold for a positive prediction.
+        cv_folds: number of cross-validation folds used to estimate the
+            true/false positive rates on the training sample.
+        minimum_rate_gap: smallest allowed ``tpr - fpr`` before falling back
+            to the unadjusted count.
+        active_learning_rounds / active_learning_fraction: optional
+            uncertainty-sampling augmentation of the training sample.
+    """
+
+    method_name = "qlac"
+
+    def __init__(
+        self,
+        classifier: Classifier | None = None,
+        threshold: float = 0.5,
+        cv_folds: int = 5,
+        minimum_rate_gap: float = 0.05,
+        active_learning_rounds: int = 0,
+        active_learning_fraction: float = 0.2,
+    ) -> None:
+        if cv_folds < 2:
+            raise ValueError("cv_folds must be at least 2")
+        self.classifier = classifier
+        self.threshold = threshold
+        self.cv_folds = cv_folds
+        self.minimum_rate_gap = minimum_rate_gap
+        self.active_learning_rounds = active_learning_rounds
+        self.active_learning_fraction = active_learning_fraction
+
+    def estimate(
+        self,
+        query: CountingQuery,
+        budget: int,
+        seed: SeedLike = None,
+    ) -> CountEstimate:
+        """Estimate ``C(O, q)`` spending at most ``budget`` predicate calls."""
+        if budget < self.cv_folds:
+            raise ValueError("budget must be at least the number of CV folds")
+        budget = min(budget, query.num_objects)
+        rng = resolve_rng(seed)
+        evaluations_before = query.evaluations
+
+        learning = run_learning_phase(
+            query,
+            budget,
+            classifier=self.classifier,
+            active_learning_rounds=self.active_learning_rounds,
+            active_learning_fraction=self.active_learning_fraction,
+            seed=rng,
+        )
+        remaining = learning.remaining_indices
+        if remaining.size == 0:
+            return CountEstimate(
+                count=learning.positive_count,
+                proportion=float(learning.labels.mean()),
+                population_size=0,
+                predicate_evaluations=query.evaluations - evaluations_before,
+                method=self.method_name,
+                count_offset=learning.positive_count,
+                details={"degenerate": True},
+            )
+
+        scores = learning.classifier.predict_scores(query.features(remaining))
+        predictions = (scores >= self.threshold).astype(np.float64)
+        observed = float(predictions.sum())
+
+        training_features = query.features(learning.labelled_indices)
+        if np.unique(learning.labels).size < 2 or learning.labels.size < self.cv_folds:
+            # Single-class or tiny training data: rates are undefined, keep
+            # the unadjusted count.
+            tpr, fpr = 1.0, 0.0
+        else:
+            reference = learning.classifier.clone()
+            tpr, fpr = cross_validated_rates(
+                reference,
+                training_features,
+                learning.labels,
+                n_splits=self.cv_folds,
+                threshold=self.threshold,
+                seed=rng,
+            )
+        corrected = adjusted_count(
+            observed, remaining.size, tpr, fpr, self.minimum_rate_gap
+        )
+        proportion = corrected / remaining.size
+
+        return CountEstimate(
+            count=corrected + learning.positive_count,
+            proportion=proportion,
+            population_size=int(remaining.size),
+            predicate_evaluations=query.evaluations - evaluations_before,
+            method=self.method_name,
+            interval=None,
+            variance=None,
+            count_offset=learning.positive_count,
+            details={
+                "observed_count": observed,
+                "adjusted_count": corrected,
+                "estimated_tpr": tpr,
+                "estimated_fpr": fpr,
+                "learning_count": learning.labelled_count,
+                "learning_positives": learning.positive_count,
+            },
+        )

@@ -1,0 +1,91 @@
+"""Classify-and-Count (QLCC)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimate import CountEstimate
+from repro.core.learning_phase import run_learning_phase
+from repro.learning.base import Classifier
+from repro.query.counting import CountingQuery
+from repro.sampling.rng import SeedLike, resolve_rng
+
+
+class ClassifyAndCount:
+    """Estimate the count by counting the classifier's positive predictions.
+
+    The whole labelling budget is spent on training data ``S``; the estimate
+    is the exact count over ``S`` plus the number of objects in ``O \\ S``
+    the classifier predicts positive.  Accurate when the classifier is
+    accurate, but arbitrarily biased when false positives and negatives do
+    not balance — and it comes with no confidence interval.
+
+    Args:
+        classifier: classifier to train (default random forest).
+        threshold: score threshold for a positive prediction.
+        active_learning_rounds / active_learning_fraction: optional
+            uncertainty-sampling augmentation of the training sample.
+    """
+
+    method_name = "qlcc"
+
+    def __init__(
+        self,
+        classifier: Classifier | None = None,
+        threshold: float = 0.5,
+        active_learning_rounds: int = 0,
+        active_learning_fraction: float = 0.2,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must lie strictly between 0 and 1")
+        self.classifier = classifier
+        self.threshold = threshold
+        self.active_learning_rounds = active_learning_rounds
+        self.active_learning_fraction = active_learning_fraction
+
+    def estimate(
+        self,
+        query: CountingQuery,
+        budget: int,
+        seed: SeedLike = None,
+    ) -> CountEstimate:
+        """Estimate ``C(O, q)`` spending at most ``budget`` predicate calls."""
+        if budget < 2:
+            raise ValueError("budget must be at least 2 predicate evaluations")
+        budget = min(budget, query.num_objects)
+        rng = resolve_rng(seed)
+        evaluations_before = query.evaluations
+
+        learning = run_learning_phase(
+            query,
+            budget,
+            classifier=self.classifier,
+            active_learning_rounds=self.active_learning_rounds,
+            active_learning_fraction=self.active_learning_fraction,
+            seed=rng,
+        )
+        remaining = learning.remaining_indices
+        if remaining.size == 0:
+            observed = 0.0
+            proportion = float(learning.labels.mean())
+        else:
+            scores = learning.classifier.predict_scores(query.features(remaining))
+            predictions = (scores >= self.threshold).astype(np.float64)
+            observed = float(predictions.sum())
+            proportion = observed / remaining.size
+
+        return CountEstimate(
+            count=observed + learning.positive_count,
+            proportion=proportion,
+            population_size=int(remaining.size),
+            predicate_evaluations=query.evaluations - evaluations_before,
+            method=self.method_name,
+            interval=None,
+            variance=None,
+            count_offset=learning.positive_count,
+            details={
+                "observed_count": observed,
+                "learning_count": learning.labelled_count,
+                "learning_positives": learning.positive_count,
+            },
+        )

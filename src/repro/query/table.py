@@ -1,0 +1,126 @@
+"""A small column-oriented in-memory table.
+
+The estimators never need a full DBMS — they only enumerate objects and read
+the attribute columns referenced by the predicate — so a dictionary of numpy
+columns with a few relational conveniences is the right substrate.  The
+sqlite3 backend in :mod:`repro.query.sql` can materialise any
+:class:`Table` into a real database when SQL execution is wanted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+class Table:
+    """An immutable-ish collection of equally long named columns.
+
+    Args:
+        columns: mapping from column name to a 1-d array-like.  All columns
+            must have the same length.
+        name: optional table name (used by the sqlite backend).
+    """
+
+    def __init__(self, columns: Mapping[str, Sequence | np.ndarray], name: str = "table") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        converted: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for column_name, values in columns.items():
+            array = np.asarray(values)
+            if array.ndim != 1:
+                raise ValueError(f"column {column_name!r} must be 1-dimensional")
+            if length is None:
+                length = array.size
+            elif array.size != length:
+                raise ValueError(
+                    f"column {column_name!r} has {array.size} rows, expected {length}"
+                )
+            converted[column_name] = array
+        self._columns = converted
+        self._num_rows = int(length or 0)
+        self.name = name
+
+    # -- basic accessors ---------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return self._num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        """Names of the columns, in insertion order."""
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def column(self, column_name: str) -> np.ndarray:
+        """Return a column by name (the underlying array, not a copy)."""
+        if column_name not in self._columns:
+            raise KeyError(
+                f"unknown column {column_name!r}; available: {self.column_names}"
+            )
+        return self._columns[column_name]
+
+    def __getitem__(self, column_name: str) -> np.ndarray:
+        return self.column(column_name)
+
+    def columns(self, column_names: Iterable[str]) -> np.ndarray:
+        """Return the selected columns stacked into an ``(N, d)`` float matrix."""
+        names = list(column_names)
+        if not names:
+            raise ValueError("must request at least one column")
+        return np.column_stack([self.column(name).astype(np.float64) for name in names])
+
+    # -- relational conveniences --------------------------------------------
+    def take(self, row_indices: Sequence[int] | np.ndarray) -> "Table":
+        """Return a new table containing only the given rows."""
+        row_indices = np.asarray(row_indices)
+        return Table(
+            {name: values[row_indices] for name, values in self._columns.items()},
+            name=self.name,
+        )
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Return a new table with only the rows where ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.size != self._num_rows:
+            raise ValueError("mask length must equal the number of rows")
+        return self.take(np.flatnonzero(mask))
+
+    def with_column(self, column_name: str, values: Sequence | np.ndarray) -> "Table":
+        """Return a new table with an added or replaced column."""
+        new_columns = dict(self._columns)
+        new_columns[column_name] = np.asarray(values)
+        return Table(new_columns, name=self.name)
+
+    def row(self, index: int) -> dict[str, object]:
+        """Return a single row as a plain dictionary."""
+        if not 0 <= index < self._num_rows:
+            raise IndexError(f"row {index} out of range for {self._num_rows} rows")
+        return {name: values[index] for name, values in self._columns.items()}
+
+    def to_records(self) -> list[dict[str, object]]:
+        """Materialise the table as a list of row dictionaries."""
+        return [self.row(i) for i in range(self._num_rows)]
+
+    @classmethod
+    def from_records(cls, records: Sequence[Mapping[str, object]], name: str = "table") -> "Table":
+        """Build a table from a sequence of row dictionaries."""
+        if not records:
+            raise ValueError("need at least one record")
+        column_names = list(records[0])
+        columns = {
+            column: np.asarray([record[column] for record in records])
+            for column in column_names
+        }
+        return cls(columns, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"Table(name={self.name!r}, rows={self._num_rows}, columns={self.column_names})"

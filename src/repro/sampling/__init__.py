@@ -1,0 +1,57 @@
+"""Classical survey-sampling substrate.
+
+The estimators in this package are the sampling-theoretic building blocks the
+paper relies on (Section 3.1): simple random sampling of a proportion,
+stratified sampling with proportional (SSP) or Neyman (SSN) allocation, and
+probability-proportional-to-size sampling without replacement evaluated with
+the Des Raj ordered estimator.  They operate over plain index arrays and a
+label oracle, so the same machinery serves both the baselines and the
+learn-to-sample methods in :mod:`repro.core`.
+"""
+
+from repro.sampling.allocation import (
+    AllocationResult,
+    neyman_allocation,
+    proportional_allocation,
+    rebalance_allocation,
+)
+from repro.sampling.intervals import (
+    ConfidenceInterval,
+    stratified_t_interval,
+    wald_interval,
+    wilson_interval,
+)
+from repro.sampling.rng import resolve_rng, sample_without_replacement
+from repro.sampling.srs import SimpleRandomSampling
+from repro.sampling.stratified import (
+    StrataPartition,
+    StratifiedSampling,
+    TwoStageNeymanSampling,
+    attribute_grid_strata,
+    equal_count_strata,
+    equal_width_strata,
+)
+from repro.sampling.weighted import DesRajEstimator, WeightedSampling, pps_sample_without_replacement
+
+__all__ = [
+    "AllocationResult",
+    "ConfidenceInterval",
+    "DesRajEstimator",
+    "SimpleRandomSampling",
+    "StrataPartition",
+    "StratifiedSampling",
+    "TwoStageNeymanSampling",
+    "WeightedSampling",
+    "attribute_grid_strata",
+    "equal_count_strata",
+    "equal_width_strata",
+    "neyman_allocation",
+    "pps_sample_without_replacement",
+    "proportional_allocation",
+    "rebalance_allocation",
+    "resolve_rng",
+    "sample_without_replacement",
+    "stratified_t_interval",
+    "wald_interval",
+    "wilson_interval",
+]

@@ -1,0 +1,145 @@
+"""Sample allocation across strata.
+
+Implements the two allocation rules used throughout the paper: proportional
+allocation (``n_h ∝ N_h``, the SSP baseline) and Neyman allocation
+(``n_h ∝ N_h S_h``, the SSN baseline and the allocation used by the DynPgm /
+LogBdr / DirSol stratification optimizers).  Both honour the practical
+constraints noted in the paper: no stratum is allotted more samples than it
+contains, and every stratum receives at least a prescribed minimum, with the
+remainder rebalanced across the other strata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """An allocation of a total sample budget to strata.
+
+    Attributes:
+        counts: number of samples allotted to each stratum.
+        total: the realised total (may fall below the requested budget when
+            the population itself is too small).
+    """
+
+    counts: np.ndarray
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+
+def _validate(stratum_sizes: np.ndarray, total_samples: int, min_per_stratum: int) -> None:
+    if stratum_sizes.ndim != 1 or stratum_sizes.size == 0:
+        raise ValueError("stratum_sizes must be a non-empty 1-d array")
+    if np.any(stratum_sizes < 0):
+        raise ValueError("stratum sizes must be non-negative")
+    if total_samples < 0:
+        raise ValueError(f"total_samples must be non-negative, got {total_samples}")
+    if min_per_stratum < 0:
+        raise ValueError(f"min_per_stratum must be non-negative, got {min_per_stratum}")
+
+
+def rebalance_allocation(
+    raw_allocation: np.ndarray,
+    stratum_sizes: np.ndarray,
+    total_samples: int,
+    min_per_stratum: int = 1,
+) -> AllocationResult:
+    """Round and repair a fractional allocation so it satisfies constraints.
+
+    The repaired allocation (i) gives every non-empty stratum at least
+    ``min_per_stratum`` samples (capped by the stratum size), (ii) never
+    exceeds a stratum's size, and (iii) sums to ``total_samples`` whenever the
+    population is large enough, distributing any shortfall or surplus in
+    proportion to the raw allocation.
+    """
+    stratum_sizes = np.asarray(stratum_sizes, dtype=np.int64)
+    raw = np.asarray(raw_allocation, dtype=np.float64)
+    _validate(stratum_sizes, total_samples, min_per_stratum)
+    if raw.shape != stratum_sizes.shape:
+        raise ValueError("raw_allocation and stratum_sizes must have the same shape")
+
+    capacity = stratum_sizes.copy()
+    floors = np.minimum(min_per_stratum, capacity)
+    total_capacity = int(capacity.sum())
+    budget = min(total_samples, total_capacity)
+
+    counts = np.minimum(np.floor(raw).astype(np.int64), capacity)
+    counts = np.maximum(counts, floors)
+    if counts.sum() > budget:
+        # Trim the largest allocations first, never going below the floors.
+        overshoot = int(counts.sum() - budget)
+        while overshoot > 0:
+            adjustable = np.where(counts > floors)[0]
+            if adjustable.size == 0:
+                break
+            order = adjustable[np.argsort(-(counts[adjustable] - floors[adjustable]))]
+            for index in order:
+                if overshoot == 0:
+                    break
+                counts[index] -= 1
+                overshoot -= 1
+    else:
+        # Distribute the remainder to strata with spare capacity, favouring
+        # those with the largest fractional remainder of the raw allocation.
+        remainder = int(budget - counts.sum())
+        while remainder > 0:
+            spare = np.where(counts < capacity)[0]
+            if spare.size == 0:
+                break
+            fractional = raw[spare] - counts[spare]
+            order = spare[np.argsort(-fractional)]
+            for index in order:
+                if remainder == 0:
+                    break
+                counts[index] += 1
+                remainder -= 1
+
+    return AllocationResult(counts=counts)
+
+
+def proportional_allocation(
+    stratum_sizes: np.ndarray,
+    total_samples: int,
+    min_per_stratum: int = 1,
+) -> AllocationResult:
+    """Allocate samples proportionally to stratum sizes (``n_h ∝ N_h``)."""
+    stratum_sizes = np.asarray(stratum_sizes, dtype=np.int64)
+    _validate(stratum_sizes, total_samples, min_per_stratum)
+    total_size = stratum_sizes.sum()
+    if total_size == 0:
+        return AllocationResult(counts=np.zeros_like(stratum_sizes))
+    raw = total_samples * stratum_sizes / total_size
+    return rebalance_allocation(raw, stratum_sizes, total_samples, min_per_stratum)
+
+
+def neyman_allocation(
+    stratum_sizes: np.ndarray,
+    stratum_stds: np.ndarray,
+    total_samples: int,
+    min_per_stratum: int = 1,
+) -> AllocationResult:
+    """Allocate samples by Neyman's rule (``n_h ∝ N_h S_h``).
+
+    Strata with (estimated) zero standard deviation receive only the
+    prescribed minimum; if every stratum has zero estimated deviation the
+    allocation falls back to proportional, which is the textbook convention.
+    """
+    stratum_sizes = np.asarray(stratum_sizes, dtype=np.int64)
+    stratum_stds = np.asarray(stratum_stds, dtype=np.float64)
+    _validate(stratum_sizes, total_samples, min_per_stratum)
+    if stratum_stds.shape != stratum_sizes.shape:
+        raise ValueError("stratum_stds and stratum_sizes must have the same shape")
+    if np.any(stratum_stds < 0):
+        raise ValueError("stratum standard deviations must be non-negative")
+
+    weights = stratum_sizes * stratum_stds
+    if weights.sum() <= 0:
+        return proportional_allocation(stratum_sizes, total_samples, min_per_stratum)
+    raw = total_samples * weights / weights.sum()
+    return rebalance_allocation(raw, stratum_sizes, total_samples, min_per_stratum)

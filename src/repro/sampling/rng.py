@@ -1,0 +1,100 @@
+"""Random-number helpers shared by every sampling component.
+
+Every estimator in the library accepts a ``seed`` argument that may be an
+integer, a :class:`numpy.random.Generator`, or ``None``.  Centralising the
+conversion keeps experiments reproducible: the experiment harness hands each
+trial its own child seed derived from a single master seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+SeedLike = int | np.random.Generator | np.random.SeedSequence | None
+
+
+def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Passing an existing generator returns it unchanged so that callers can
+    share a stream across phases of a multi-stage estimator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one master seed.
+
+    The experiment runner uses this to give every trial its own stream while
+    the whole experiment remains reproducible from a single integer.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Use the generator itself to derive child seeds.
+        children = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(c)) for c in children]
+    sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def sample_without_replacement(
+    population: int | Sequence[int] | np.ndarray,
+    size: int,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Draw ``size`` distinct elements uniformly at random.
+
+    ``population`` is either an integer ``N`` (draw indices from ``0..N-1``)
+    or an explicit array of candidate indices.  Raises ``ValueError`` when the
+    requested sample is larger than the population, because silently clamping
+    would bias downstream estimators.
+    """
+    rng = resolve_rng(seed)
+    if isinstance(population, (int, np.integer)):
+        candidates = np.arange(int(population))
+    else:
+        candidates = np.asarray(population)
+    if size < 0:
+        raise ValueError(f"sample size must be non-negative, got {size}")
+    if size > candidates.size:
+        raise ValueError(
+            f"cannot draw {size} distinct elements from a population of {candidates.size}"
+        )
+    if size == candidates.size:
+        drawn = candidates.copy()
+        rng.shuffle(drawn)
+        return drawn
+    return rng.choice(candidates, size=size, replace=False)
+
+
+def split_indices(
+    indices: Sequence[int] | np.ndarray,
+    first_fraction: float,
+    seed: SeedLike = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Randomly split ``indices`` into two disjoint parts.
+
+    Used to divide a labelling budget between the learning phase and the
+    sampling phase of the learn-to-sample estimators.  ``first_fraction`` is
+    the fraction (in ``[0, 1]``) assigned to the first part.
+    """
+    if not 0.0 <= first_fraction <= 1.0:
+        raise ValueError(f"first_fraction must be within [0, 1], got {first_fraction}")
+    rng = resolve_rng(seed)
+    indices = np.asarray(indices)
+    order = rng.permutation(indices.size)
+    cut = int(round(first_fraction * indices.size))
+    return indices[order[:cut]], indices[order[cut:]]
+
+
+def as_index_array(indices: Iterable[int]) -> np.ndarray:
+    """Normalise an iterable of object indices to a 1-d ``int64`` array."""
+    array = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices)
+    if array.ndim != 1:
+        raise ValueError(f"expected a 1-d index collection, got shape {array.shape}")
+    return array.astype(np.int64, copy=False)

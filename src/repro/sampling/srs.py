@@ -1,0 +1,150 @@
+"""Simple random sampling (SRS) of a proportion.
+
+This is the most basic baseline of Section 3.1: draw ``n`` objects without
+replacement, evaluate the expensive predicate on each, and scale the observed
+proportion up to the population.  The Wald interval (with finite-population
+correction) is the default confidence interval; the Wilson interval is used
+automatically when the observed proportion is extreme.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.estimate import CountEstimate
+from repro.sampling.intervals import ConfidenceInterval, wald_interval, wilson_interval
+from repro.sampling.rng import SeedLike, as_index_array, resolve_rng, sample_without_replacement
+
+LabelOracle = Callable[[np.ndarray], np.ndarray]
+"""A function mapping an array of object indices to 0/1 predicate outcomes."""
+
+
+def evaluate_labels(oracle: LabelOracle, indices: np.ndarray) -> np.ndarray:
+    """Evaluate the predicate oracle and validate its output.
+
+    The oracle is the expensive part of the pipeline, so estimators call it
+    exactly once per sampled object.  The result must be a 0/1 (or boolean)
+    array aligned with ``indices``.
+    """
+    labels = np.asarray(oracle(indices))
+    if labels.shape != indices.shape:
+        raise ValueError(
+            f"label oracle returned shape {labels.shape} for {indices.shape} indices"
+        )
+    labels = labels.astype(np.float64, copy=False)
+    if labels.size and (labels.min() < 0.0 or labels.max() > 1.0):
+        raise ValueError("label oracle must return values in {0, 1}")
+    return labels
+
+
+class SimpleRandomSampling:
+    """Estimate a count by simple random sampling without replacement.
+
+    Args:
+        confidence: coverage level of the reported interval.
+        interval: ``"wald"``, ``"wilson"`` or ``"auto"``.  ``"auto"`` (the
+            default) uses Wilson when the observed proportion is within
+            ``extreme_threshold`` of 0 or 1, where the Wald normal
+            approximation breaks down, and Wald otherwise.
+        extreme_threshold: proportion distance from {0, 1} below which the
+            Wilson interval is preferred under ``"auto"``.
+    """
+
+    method_name = "srs"
+
+    def __init__(
+        self,
+        confidence: float = 0.95,
+        interval: str = "auto",
+        extreme_threshold: float = 0.05,
+    ) -> None:
+        if interval not in {"wald", "wilson", "auto"}:
+            raise ValueError(f"unknown interval type {interval!r}")
+        self.confidence = confidence
+        self.interval = interval
+        self.extreme_threshold = extreme_threshold
+
+    def _build_interval(
+        self, proportion: float, sample_size: int, population_size: int
+    ) -> ConfidenceInterval:
+        use_wilson = self.interval == "wilson" or (
+            self.interval == "auto"
+            and min(proportion, 1.0 - proportion) < self.extreme_threshold
+        )
+        builder = wilson_interval if use_wilson else wald_interval
+        return builder(
+            proportion,
+            sample_size,
+            population_size=population_size,
+            confidence=self.confidence,
+        )
+
+    def estimate(
+        self,
+        objects: Sequence[int] | np.ndarray,
+        oracle: LabelOracle,
+        sample_size: int,
+        seed: SeedLike = None,
+    ) -> CountEstimate:
+        """Estimate the number of positive objects among ``objects``.
+
+        Args:
+            objects: indices of the population to estimate over.
+            oracle: expensive predicate, evaluated only on the sample.
+            sample_size: number of predicate evaluations to spend.
+            seed: RNG seed or generator.
+        """
+        objects = as_index_array(objects)
+        population_size = objects.size
+        if population_size == 0:
+            raise ValueError("cannot estimate a count over an empty object set")
+        sample_size = min(sample_size, population_size)
+        if sample_size <= 0:
+            raise ValueError("sample_size must be positive")
+
+        rng = resolve_rng(seed)
+        sample = sample_without_replacement(objects, sample_size, seed=rng)
+        labels = evaluate_labels(oracle, sample)
+        proportion = float(labels.mean())
+        interval = self._build_interval(proportion, sample_size, population_size)
+        fpc = (population_size - sample_size) / max(population_size - 1, 1)
+        variance = proportion * (1.0 - proportion) / sample_size * fpc
+        return CountEstimate(
+            count=proportion * population_size,
+            proportion=proportion,
+            population_size=population_size,
+            predicate_evaluations=sample_size,
+            method=self.method_name,
+            interval=interval,
+            variance=variance,
+            details={"sample_indices": sample, "sample_labels": labels},
+        )
+
+    def estimate_from_labels(
+        self,
+        labels: np.ndarray,
+        population_size: int,
+    ) -> CountEstimate:
+        """Build an SRS estimate from labels that were already evaluated.
+
+        This is used by multi-phase estimators that want to report what a
+        plain SRS over the same labelled sample would have concluded.
+        """
+        labels = np.asarray(labels, dtype=np.float64)
+        if labels.size == 0:
+            raise ValueError("need at least one labelled object")
+        proportion = float(labels.mean())
+        interval = self._build_interval(proportion, labels.size, population_size)
+        fpc = (population_size - labels.size) / max(population_size - 1, 1)
+        variance = proportion * (1.0 - proportion) / labels.size * fpc
+        return CountEstimate(
+            count=proportion * population_size,
+            proportion=proportion,
+            population_size=population_size,
+            predicate_evaluations=int(labels.size),
+            method=self.method_name,
+            interval=interval,
+            variance=variance,
+        )

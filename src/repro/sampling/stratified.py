@@ -1,0 +1,395 @@
+"""Stratified sampling estimators and strata-construction helpers.
+
+Covers the two stratified baselines of Section 3.1:
+
+* **SSP** — stratified sampling with proportional allocation over strata
+  built from surrogate attributes (for the paper's workloads, a grid over the
+  join/filter attributes).
+* **SSN** — two-stage stratified sampling with Neyman allocation, where a
+  pilot sample is used to estimate per-stratum standard deviations before
+  allocating the remaining budget.
+
+The same :class:`StratifiedSampling` estimator is reused by Learned
+Stratified Sampling (:mod:`repro.core.lss`), which supplies score-ordered
+strata instead of attribute-based ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.estimate import CountEstimate
+from repro.sampling.allocation import (
+    AllocationResult,
+    neyman_allocation,
+    proportional_allocation,
+)
+from repro.sampling.intervals import stratified_t_interval
+from repro.sampling.rng import SeedLike, as_index_array, resolve_rng, sample_without_replacement
+from repro.sampling.srs import LabelOracle, evaluate_labels
+
+
+@dataclass
+class StrataPartition:
+    """A partition of an object set into disjoint strata.
+
+    Attributes:
+        strata: one index array per stratum.  Strata may be empty; empty
+            strata are ignored by the estimator.
+    """
+
+    strata: list[np.ndarray]
+
+    def __post_init__(self) -> None:
+        self.strata = [as_index_array(s) for s in self.strata]
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Number of objects in each stratum."""
+        return np.array([s.size for s in self.strata], dtype=np.int64)
+
+    @property
+    def population_size(self) -> int:
+        return int(self.sizes.sum())
+
+    @property
+    def num_strata(self) -> int:
+        return len(self.strata)
+
+    def non_empty(self) -> "StrataPartition":
+        """Return a copy with empty strata removed."""
+        return StrataPartition([s for s in self.strata if s.size > 0])
+
+    def validate_disjoint(self) -> None:
+        """Raise if any object index appears in more than one stratum."""
+        combined = np.concatenate(self.strata) if self.strata else np.empty(0, dtype=np.int64)
+        if combined.size != np.unique(combined).size:
+            raise ValueError("strata overlap: an object index appears more than once")
+
+
+def equal_width_strata(values: np.ndarray, num_strata: int) -> StrataPartition:
+    """Partition objects into strata of equal value-range width.
+
+    ``values`` is one surrogate value per object (e.g. a classifier score or
+    a filter attribute); stratum ``h`` covers the h-th slice of the value
+    range.  This is the paper's "fixed width" layout.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if num_strata <= 0:
+        raise ValueError("num_strata must be positive")
+    low, high = float(values.min()), float(values.max())
+    if high <= low:
+        # Degenerate value range: everything lands in one stratum.
+        edges = np.linspace(low - 0.5, low + 0.5, num_strata + 1)
+    else:
+        edges = np.linspace(low, high, num_strata + 1)
+    assignment = np.clip(np.searchsorted(edges, values, side="right") - 1, 0, num_strata - 1)
+    strata = [np.flatnonzero(assignment == h) for h in range(num_strata)]
+    return StrataPartition(strata)
+
+
+def equal_count_strata(values: np.ndarray, num_strata: int) -> StrataPartition:
+    """Partition objects into strata holding (nearly) equal numbers of objects.
+
+    Objects are ordered by ``values`` and cut into ``num_strata`` contiguous
+    runs.  This is the paper's "fixed height" layout, which performs poorly
+    when labels are skewed because each stratum mixes both classes.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if num_strata <= 0:
+        raise ValueError("num_strata must be positive")
+    order = np.argsort(values, kind="stable")
+    pieces = np.array_split(order, num_strata)
+    return StrataPartition([np.sort(piece) for piece in pieces])
+
+
+def attribute_grid_strata(
+    features: np.ndarray,
+    cells_per_dimension: int,
+) -> StrataPartition:
+    """Grid the surrogate attribute space into strata (the SSP layout).
+
+    ``features`` is an ``(N, d)`` array of the attributes referenced by the
+    expensive predicate (e.g. ``x`` and ``y`` for the neighbour query).  Each
+    dimension is cut into ``cells_per_dimension`` equal-width cells and each
+    non-empty cell becomes a stratum, mirroring how the paper builds
+    2-dimensional strata for SSP.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim == 1:
+        features = features[:, None]
+    if cells_per_dimension <= 0:
+        raise ValueError("cells_per_dimension must be positive")
+    n_objects, n_dims = features.shape
+    cell_ids = np.zeros(n_objects, dtype=np.int64)
+    for dim in range(n_dims):
+        column = features[:, dim]
+        low, high = float(column.min()), float(column.max())
+        if high <= low:
+            digit = np.zeros(n_objects, dtype=np.int64)
+        else:
+            edges = np.linspace(low, high, cells_per_dimension + 1)
+            digit = np.clip(
+                np.searchsorted(edges, column, side="right") - 1, 0, cells_per_dimension - 1
+            )
+        cell_ids = cell_ids * cells_per_dimension + digit
+    strata = [np.flatnonzero(cell_ids == cell) for cell in np.unique(cell_ids)]
+    return StrataPartition(strata)
+
+
+def _sample_variance(labels: np.ndarray) -> float:
+    """Unbiased within-stratum variance estimate (0 for fewer than 2 labels)."""
+    if labels.size < 2:
+        return 0.0
+    return float(labels.var(ddof=1))
+
+
+class StratifiedSampling:
+    """Stratified estimator of a count over a given partition.
+
+    Args:
+        allocation: ``"proportional"`` (SSP) or ``"neyman"``.  Neyman
+            allocation requires per-stratum standard-deviation estimates,
+            which are either supplied explicitly or estimated from a pilot
+            sample by :class:`TwoStageNeymanSampling`.
+        confidence: coverage level of the reported interval.
+        min_per_stratum: minimum samples per non-empty stratum.
+    """
+
+    method_name = "ssp"
+
+    def __init__(
+        self,
+        allocation: str = "proportional",
+        confidence: float = 0.95,
+        min_per_stratum: int = 2,
+    ) -> None:
+        if allocation not in {"proportional", "neyman"}:
+            raise ValueError(f"unknown allocation strategy {allocation!r}")
+        self.allocation = allocation
+        self.confidence = confidence
+        self.min_per_stratum = min_per_stratum
+
+    def allocate(
+        self,
+        partition: StrataPartition,
+        total_samples: int,
+        stratum_stds: np.ndarray | None = None,
+    ) -> AllocationResult:
+        """Allocate a total budget across the partition's strata."""
+        sizes = partition.sizes
+        if self.allocation == "neyman":
+            if stratum_stds is None:
+                raise ValueError("Neyman allocation requires per-stratum std estimates")
+            return neyman_allocation(
+                sizes, stratum_stds, total_samples, self.min_per_stratum
+            )
+        return proportional_allocation(sizes, total_samples, self.min_per_stratum)
+
+    def estimate_from_samples(
+        self,
+        partition: StrataPartition,
+        stratum_labels: Sequence[np.ndarray],
+        predicate_evaluations: int | None = None,
+        method: str | None = None,
+        details: dict | None = None,
+    ) -> CountEstimate:
+        """Combine already-evaluated per-stratum labels into an estimate.
+
+        This implements the standard stratified estimator and its variance
+        (eq. 1 in the paper): ``p̂ = Σ W_h p̂_h`` with
+        ``V̂ar(p̂) = Σ W_h² (1 - n_h/N_h) s_h² / n_h``.
+        """
+        sizes = partition.sizes
+        population = int(sizes.sum())
+        if population == 0:
+            raise ValueError("cannot estimate over an empty partition")
+        weights = sizes / population
+
+        proportion = 0.0
+        variance = 0.0
+        total_sampled = 0
+        for weight, size, labels in zip(weights, sizes, stratum_labels):
+            labels = np.asarray(labels, dtype=np.float64)
+            if size == 0:
+                continue
+            if labels.size == 0:
+                # An unsampled, non-empty stratum contributes its weight with
+                # an uninformative prior of 0; the allocator avoids this case
+                # whenever the budget allows.
+                continue
+            stratum_mean = float(labels.mean())
+            stratum_var = _sample_variance(labels)
+            proportion += weight * stratum_mean
+            fpc = 1.0 - labels.size / size if size > 0 else 0.0
+            variance += weight**2 * fpc * stratum_var / labels.size
+            total_sampled += labels.size
+
+        degrees_of_freedom = max(total_sampled - partition.num_strata, 1)
+        interval = stratified_t_interval(
+            proportion, variance, degrees_of_freedom, self.confidence
+        )
+        return CountEstimate(
+            count=proportion * population,
+            proportion=proportion,
+            population_size=population,
+            predicate_evaluations=(
+                predicate_evaluations if predicate_evaluations is not None else total_sampled
+            ),
+            method=method or self.method_name,
+            interval=interval,
+            variance=variance,
+            details=details or {},
+        )
+
+    def estimate(
+        self,
+        partition: StrataPartition,
+        oracle: LabelOracle,
+        sample_size: int,
+        seed: SeedLike = None,
+        stratum_stds: np.ndarray | None = None,
+        method: str | None = None,
+    ) -> CountEstimate:
+        """Draw a stratified sample and estimate the count.
+
+        Args:
+            partition: disjoint strata covering the population.
+            oracle: expensive predicate, evaluated once per sampled object.
+            sample_size: total number of predicate evaluations to spend.
+            seed: RNG seed or generator.
+            stratum_stds: per-stratum standard-deviation estimates; required
+                when the allocation strategy is ``"neyman"``.
+        """
+        rng = resolve_rng(seed)
+        allocation = self.allocate(partition, sample_size, stratum_stds)
+        stratum_labels: list[np.ndarray] = []
+        sampled_indices: list[np.ndarray] = []
+        evaluations = 0
+        for stratum, n_h in zip(partition.strata, allocation.counts):
+            if stratum.size == 0 or n_h == 0:
+                stratum_labels.append(np.empty(0))
+                sampled_indices.append(np.empty(0, dtype=np.int64))
+                continue
+            drawn = sample_without_replacement(stratum, int(n_h), seed=rng)
+            labels = evaluate_labels(oracle, drawn)
+            stratum_labels.append(labels)
+            sampled_indices.append(drawn)
+            evaluations += drawn.size
+        return self.estimate_from_samples(
+            partition,
+            stratum_labels,
+            predicate_evaluations=evaluations,
+            method=method,
+            details={
+                "allocation": allocation.counts,
+                "sampled_indices": sampled_indices,
+                "stratum_labels": stratum_labels,
+            },
+        )
+
+
+class TwoStageNeymanSampling:
+    """Two-stage stratified sampling with Neyman allocation (SSN).
+
+    Stage one spends ``pilot_fraction`` of the budget on a proportional pilot
+    sample used only to estimate per-stratum standard deviations; stage two
+    spends the remainder according to the Neyman allocation computed from
+    those estimates.  Labels from both stages contribute to the final
+    estimate.
+    """
+
+    method_name = "ssn"
+
+    def __init__(
+        self,
+        pilot_fraction: float = 0.3,
+        confidence: float = 0.95,
+        min_per_stratum: int = 2,
+    ) -> None:
+        if not 0.0 < pilot_fraction < 1.0:
+            raise ValueError("pilot_fraction must lie strictly between 0 and 1")
+        self.pilot_fraction = pilot_fraction
+        self.confidence = confidence
+        self.min_per_stratum = min_per_stratum
+
+    def estimate(
+        self,
+        partition: StrataPartition,
+        oracle: LabelOracle,
+        sample_size: int,
+        seed: SeedLike = None,
+    ) -> CountEstimate:
+        rng = resolve_rng(seed)
+        pilot_budget = max(int(round(self.pilot_fraction * sample_size)), partition.num_strata)
+        pilot_budget = min(pilot_budget, sample_size)
+        second_budget = sample_size - pilot_budget
+
+        proportional = StratifiedSampling(
+            allocation="proportional",
+            confidence=self.confidence,
+            min_per_stratum=self.min_per_stratum,
+        )
+        pilot_allocation = proportional.allocate(partition, pilot_budget)
+
+        pilot_labels: list[np.ndarray] = []
+        pilot_indices: list[np.ndarray] = []
+        for stratum, n_h in zip(partition.strata, pilot_allocation.counts):
+            if stratum.size == 0 or n_h == 0:
+                pilot_labels.append(np.empty(0))
+                pilot_indices.append(np.empty(0, dtype=np.int64))
+                continue
+            drawn = sample_without_replacement(stratum, int(n_h), seed=rng)
+            pilot_indices.append(drawn)
+            pilot_labels.append(evaluate_labels(oracle, drawn))
+
+        stds = np.array([np.sqrt(_sample_variance(labels)) for labels in pilot_labels])
+        remaining_sizes = np.array(
+            [s.size - drawn.size for s, drawn in zip(partition.strata, pilot_indices)],
+            dtype=np.int64,
+        )
+        second_allocation = neyman_allocation(
+            remaining_sizes, stds, second_budget, min_per_stratum=self.min_per_stratum
+        )
+
+        # Only the second-stage labels feed the final estimate: the number of
+        # extra samples a stratum receives depends on its pilot labels, so
+        # reusing the pilot would bias strata whose pilot happened to be pure
+        # (most visibly, an all-negative pilot would freeze the stratum at
+        # exactly zero).  The pilot only informs the allocation.
+        combined_labels: list[np.ndarray] = []
+        evaluations = 0
+        for stratum, drawn, labels, n_h in zip(
+            partition.strata, pilot_indices, pilot_labels, second_allocation.counts
+        ):
+            evaluations += drawn.size
+            if n_h > 0:
+                remaining = np.setdiff1d(stratum, drawn, assume_unique=False)
+                extra = sample_without_replacement(remaining, int(min(n_h, remaining.size)), seed=rng)
+                extra_labels = evaluate_labels(oracle, extra)
+                evaluations += extra.size
+                combined_labels.append(extra_labels)
+            else:
+                # Degenerate budget: keep the pilot labels rather than leaving
+                # the stratum unobserved.
+                combined_labels.append(labels)
+
+        estimator = StratifiedSampling(
+            allocation="neyman",
+            confidence=self.confidence,
+            min_per_stratum=self.min_per_stratum,
+        )
+        return estimator.estimate_from_samples(
+            partition,
+            combined_labels,
+            predicate_evaluations=evaluations,
+            method=self.method_name,
+            details={
+                "pilot_allocation": pilot_allocation.counts,
+                "second_allocation": second_allocation.counts,
+                "stratum_stds": stds,
+            },
+        )

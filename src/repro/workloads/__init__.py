@@ -1,0 +1,21 @@
+"""Experiment workloads: dataset + query + selectivity level in one object."""
+
+from repro.workloads.metrics import EstimateDistribution, summarize_estimates
+from repro.workloads.queries import (
+    Workload,
+    build_neighbors_workload,
+    build_sports_workload,
+    build_workload,
+)
+from repro.workloads.runner import TrialRunner, run_trials
+
+__all__ = [
+    "EstimateDistribution",
+    "TrialRunner",
+    "Workload",
+    "build_neighbors_workload",
+    "build_sports_workload",
+    "build_workload",
+    "run_trials",
+    "summarize_estimates",
+]

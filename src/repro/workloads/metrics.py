@@ -1,0 +1,108 @@
+"""Summary statistics over repeated estimate trials.
+
+The paper compares estimators through the spread of their estimate
+distributions over repeated runs, chiefly the interquartile range (IQR),
+which is robust to the occasional outlier some estimators produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.estimate import CountEstimate
+
+
+@dataclass(frozen=True)
+class EstimateDistribution:
+    """Summary of an estimator's count distribution over repeated trials.
+
+    Attributes:
+        method: the estimator's name.
+        true_count: exact ground truth the estimates are compared against.
+        counts: the raw estimated counts, one per trial.
+        median: median estimated count.
+        q1, q3: first and third quartiles of the estimated counts.
+        iqr: interquartile range (q3 - q1), the paper's headline metric.
+        mean_absolute_error: mean |estimate - truth| across trials.
+        median_relative_error: median |estimate - truth| / truth.
+        outlier_count: estimates outside 1.5 IQR of the quartiles.
+        coverage: fraction of trials whose confidence interval covered the
+            truth (``nan`` for estimators without intervals).
+        mean_evaluations: average number of predicate evaluations per trial.
+    """
+
+    method: str
+    true_count: float
+    counts: np.ndarray
+    median: float
+    q1: float
+    q3: float
+    iqr: float
+    mean_absolute_error: float
+    median_relative_error: float
+    outlier_count: int
+    coverage: float
+    mean_evaluations: float
+
+    @property
+    def relative_iqr(self) -> float:
+        """IQR normalised by the true count (comparable across levels)."""
+        if self.true_count == 0:
+            return float("nan")
+        return self.iqr / self.true_count
+
+    def as_row(self) -> dict[str, float | str]:
+        """A flat dictionary suitable for tabular reports."""
+        return {
+            "method": self.method,
+            "true_count": self.true_count,
+            "median": round(self.median, 2),
+            "iqr": round(self.iqr, 2),
+            "relative_iqr": round(self.relative_iqr, 4) if self.true_count else float("nan"),
+            "median_relative_error": round(self.median_relative_error, 4),
+            "outliers": self.outlier_count,
+            "coverage": round(self.coverage, 3) if not np.isnan(self.coverage) else float("nan"),
+            "mean_evaluations": round(self.mean_evaluations, 1),
+        }
+
+
+def summarize_estimates(
+    method: str,
+    estimates: Sequence[CountEstimate],
+    true_count: float,
+) -> EstimateDistribution:
+    """Summarise a list of estimates from repeated trials of one estimator."""
+    if not estimates:
+        raise ValueError("need at least one estimate to summarise")
+    counts = np.asarray([estimate.count for estimate in estimates], dtype=np.float64)
+    q1, median, q3 = np.percentile(counts, [25, 50, 75])
+    iqr = q3 - q1
+    lower_fence = q1 - 1.5 * iqr
+    upper_fence = q3 + 1.5 * iqr
+    outliers = int(np.sum((counts < lower_fence) | (counts > upper_fence)))
+
+    covered = [estimate.covers(true_count) for estimate in estimates]
+    with_intervals = [value for value in covered if value is not None]
+    coverage = float(np.mean(with_intervals)) if with_intervals else float("nan")
+
+    absolute_errors = np.abs(counts - true_count)
+    relative_errors = absolute_errors / true_count if true_count else absolute_errors
+    evaluations = np.asarray([estimate.predicate_evaluations for estimate in estimates])
+
+    return EstimateDistribution(
+        method=method,
+        true_count=float(true_count),
+        counts=counts,
+        median=float(median),
+        q1=float(q1),
+        q3=float(q3),
+        iqr=float(iqr),
+        mean_absolute_error=float(absolute_errors.mean()),
+        median_relative_error=float(np.median(relative_errors)),
+        outlier_count=outliers,
+        coverage=coverage,
+        mean_evaluations=float(evaluations.mean()),
+    )

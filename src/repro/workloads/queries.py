@@ -1,0 +1,137 @@
+"""The two evaluation workloads, parameterised by size and selectivity.
+
+The paper's experiments are a grid over {dataset} × {selectivity level} ×
+{sample size}.  A :class:`Workload` bundles the generated table, the
+calibrated counting query and its exact ground truth so the per-figure
+drivers in :mod:`repro.experiments` stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.neighbors import (
+    DEFAULT_NEIGHBORS_ROWS,
+    NEIGHBOR_X_COLUMN,
+    NEIGHBOR_Y_COLUMN,
+    generate_neighbors_table,
+)
+from repro.datasets.selectivity import (
+    CalibrationResult,
+    calibrate_neighbor_threshold,
+    calibrate_skyband_depth,
+)
+from repro.datasets.sports import (
+    DEFAULT_SPORTS_ROWS,
+    SKYBAND_X_COLUMN,
+    SKYBAND_Y_COLUMN,
+    generate_sports_table,
+)
+from repro.query.counting import CountingQuery
+from repro.query.predicates import NeighborCountPredicate, SkybandPredicate
+
+#: Distance used by the Neighbors query; chosen so the densest clusters give
+#: large neighbour counts while isolated records have few.
+DEFAULT_NEIGHBOR_DISTANCE = 1.5
+
+
+@dataclass
+class Workload:
+    """A calibrated counting workload.
+
+    Attributes:
+        name: ``"sports"`` or ``"neighbors"``.
+        level: selectivity level label (``"XS"`` ... ``"XXL"``) or fraction.
+        query: the :class:`CountingQuery` to estimate.
+        calibration: how the query parameter was calibrated.
+    """
+
+    name: str
+    level: str | float
+    query: CountingQuery
+    calibration: CalibrationResult
+
+    @property
+    def true_count(self) -> int:
+        return self.query.true_count()
+
+    @property
+    def num_objects(self) -> int:
+        return self.query.num_objects
+
+    def sample_size(self, fraction: float) -> int:
+        """Convert a sample-size fraction (e.g. 0.01 for "1 %") to a budget."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must lie in (0, 1]")
+        return max(int(round(fraction * self.num_objects)), 1)
+
+
+def build_sports_workload(
+    level: str | float = "S",
+    num_rows: int = DEFAULT_SPORTS_ROWS,
+    seed: int = 7,
+    cache_labels: bool = True,
+) -> Workload:
+    """Type 1 (Sports): k-skyband membership over pitching statistics."""
+    table = generate_sports_table(num_rows=num_rows, seed=seed)
+    calibration = calibrate_skyband_depth(table, SKYBAND_X_COLUMN, SKYBAND_Y_COLUMN, level)
+    predicate = SkybandPredicate(SKYBAND_X_COLUMN, SKYBAND_Y_COLUMN, k=calibration.parameter)
+    query = CountingQuery(
+        table,
+        predicate,
+        name=f"sports-skyband-{level}",
+        cache_labels=cache_labels,
+    )
+    return Workload(name="sports", level=level, query=query, calibration=calibration)
+
+
+def build_neighbors_workload(
+    level: str | float = "S",
+    num_rows: int = DEFAULT_NEIGHBORS_ROWS,
+    seed: int = 11,
+    distance: float = DEFAULT_NEIGHBOR_DISTANCE,
+    cache_labels: bool = True,
+) -> Workload:
+    """Type 2 (Neighbors): records with few neighbours within distance ``d``."""
+    table = generate_neighbors_table(num_rows=num_rows, seed=seed)
+    calibration = calibrate_neighbor_threshold(
+        table, NEIGHBOR_X_COLUMN, NEIGHBOR_Y_COLUMN, distance, level
+    )
+    predicate = NeighborCountPredicate(
+        NEIGHBOR_X_COLUMN,
+        NEIGHBOR_Y_COLUMN,
+        max_neighbors=calibration.parameter,
+        distance=distance,
+    )
+    query = CountingQuery(
+        table,
+        predicate,
+        name=f"neighbors-{level}",
+        cache_labels=cache_labels,
+    )
+    return Workload(name="neighbors", level=level, query=query, calibration=calibration)
+
+
+def build_workload(
+    dataset: str,
+    level: str | float = "S",
+    num_rows: int | None = None,
+    seed: int | None = None,
+    cache_labels: bool = True,
+) -> Workload:
+    """Build either workload by name with sensible defaults."""
+    if dataset == "sports":
+        return build_sports_workload(
+            level=level,
+            num_rows=num_rows or DEFAULT_SPORTS_ROWS,
+            seed=7 if seed is None else seed,
+            cache_labels=cache_labels,
+        )
+    if dataset == "neighbors":
+        return build_neighbors_workload(
+            level=level,
+            num_rows=num_rows or DEFAULT_NEIGHBORS_ROWS,
+            seed=11 if seed is None else seed,
+            cache_labels=cache_labels,
+        )
+    raise ValueError(f"unknown dataset {dataset!r}; choose 'sports' or 'neighbors'")

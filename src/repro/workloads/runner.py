@@ -1,0 +1,78 @@
+"""Run repeated estimator trials over a workload.
+
+Every figure in the paper's evaluation is a distribution of estimates over
+repeated runs; :class:`TrialRunner` centralises the trial loop (independent
+seeds per trial, evaluation-counter resets, distribution summarisation) so
+the per-figure drivers only declare *what* to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.estimate import CountEstimate
+from repro.sampling.rng import SeedLike, spawn_seeds
+from repro.workloads.metrics import EstimateDistribution, summarize_estimates
+from repro.workloads.queries import Workload
+
+EstimatorFactory = Callable[[], object]
+"""A zero-argument callable building a fresh estimator for each trial."""
+
+
+@dataclass
+class TrialRunner:
+    """Run an estimator repeatedly over one workload.
+
+    Attributes:
+        workload: the workload to estimate.
+        num_trials: number of independent repetitions.
+        seed: master seed; each trial receives an independent child stream.
+    """
+
+    workload: Workload
+    num_trials: int = 30
+    seed: SeedLike = 0
+    estimates: dict[str, list[CountEstimate]] = field(default_factory=dict)
+
+    def run(
+        self,
+        method_name: str,
+        run_trial: Callable[[Workload, SeedLike], CountEstimate],
+    ) -> EstimateDistribution:
+        """Run ``num_trials`` independent trials of one estimator.
+
+        Args:
+            method_name: label under which the results are stored.
+            run_trial: callable invoked as ``run_trial(workload, rng)`` that
+                returns one :class:`CountEstimate`.
+        """
+        if self.num_trials <= 0:
+            raise ValueError("num_trials must be positive")
+        rngs = spawn_seeds(self.seed, self.num_trials)
+        collected: list[CountEstimate] = []
+        for rng in rngs:
+            self.workload.query.reset_accounting()
+            collected.append(run_trial(self.workload, rng))
+        self.estimates[method_name] = collected
+        return summarize_estimates(method_name, collected, self.workload.true_count)
+
+    def distribution(self, method_name: str) -> EstimateDistribution:
+        """Summarise the stored estimates of a previously run method."""
+        if method_name not in self.estimates:
+            raise KeyError(f"no trials recorded for {method_name!r}")
+        return summarize_estimates(
+            method_name, self.estimates[method_name], self.workload.true_count
+        )
+
+
+def run_trials(
+    workload: Workload,
+    method_name: str,
+    run_trial: Callable[[Workload, SeedLike], CountEstimate],
+    num_trials: int = 30,
+    seed: SeedLike = 0,
+) -> EstimateDistribution:
+    """Convenience wrapper around :class:`TrialRunner` for a single method."""
+    runner = TrialRunner(workload=workload, num_trials=num_trials, seed=seed)
+    return runner.run(method_name, run_trial)

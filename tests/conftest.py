@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.query.counting import CountingQuery
+from repro.query.predicates import CallablePredicate, NeighborCountPredicate, SkybandPredicate
+from repro.query.table import Table
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_points_table(rng) -> Table:
+    """A small 2-d point table with a dense cluster and scattered outliers."""
+    cluster = rng.normal(loc=(5.0, 5.0), scale=0.4, size=(160, 2))
+    scattered = rng.uniform(0.0, 10.0, size=(40, 2))
+    points = np.vstack([cluster, scattered])
+    return Table({"x": points[:, 0], "y": points[:, 1]}, name="points")
+
+
+@pytest.fixture
+def neighbor_query(small_points_table) -> CountingQuery:
+    """Counting query: points with at most 3 neighbours within distance 0.5."""
+    predicate = NeighborCountPredicate("x", "y", max_neighbors=3, distance=0.5)
+    return CountingQuery(small_points_table, predicate, name="few-neighbours")
+
+
+@pytest.fixture
+def skyband_query(small_points_table) -> CountingQuery:
+    """Counting query: 5-skyband membership over (x, y)."""
+    predicate = SkybandPredicate("x", "y", k=5)
+    return CountingQuery(small_points_table, predicate, name="skyband")
+
+
+@pytest.fixture
+def threshold_query(rng) -> CountingQuery:
+    """A linearly separable predicate — easy for every classifier."""
+    features = rng.uniform(0.0, 1.0, size=(500, 2))
+    table = Table({"a": features[:, 0], "b": features[:, 1]}, name="threshold")
+    predicate = CallablePredicate(
+        function=lambda tbl, index: tbl["a"][index] + tbl["b"][index] > 1.0,
+        feature_columns=("a", "b"),
+        bulk_function=lambda tbl: (tbl["a"] + tbl["b"] > 1.0).astype(float),
+    )
+    return CountingQuery(table, predicate, name="threshold")
+
+
+@pytest.fixture
+def separable_data(rng) -> tuple[np.ndarray, np.ndarray]:
+    """A well-separated binary classification problem."""
+    negatives = rng.normal(loc=(-1.5, -1.5), scale=0.6, size=(120, 2))
+    positives = rng.normal(loc=(1.5, 1.5), scale=0.6, size=(120, 2))
+    features = np.vstack([negatives, positives])
+    labels = np.concatenate([np.zeros(120), np.ones(120)])
+    order = rng.permutation(features.shape[0])
+    return features[order], labels[order]

@@ -1,0 +1,120 @@
+"""Tests for the synthetic dataset generators and selectivity calibration."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.neighbors import NEIGHBOR_X_COLUMN, NEIGHBOR_Y_COLUMN, generate_neighbors_table
+from repro.datasets.selectivity import (
+    SELECTIVITY_LEVELS,
+    calibrate_neighbor_threshold,
+    calibrate_skyband_depth,
+)
+from repro.datasets.sports import SKYBAND_X_COLUMN, SKYBAND_Y_COLUMN, generate_sports_table
+
+
+class TestSportsGenerator:
+    def test_row_count_and_schema(self):
+        table = generate_sports_table(num_rows=500, seed=0)
+        assert table.num_rows == 500
+        for column in ["strikeouts", "wins", "era", "innings", "whip"]:
+            assert column in table
+
+    def test_deterministic_for_same_seed(self):
+        first = generate_sports_table(num_rows=200, seed=3)
+        second = generate_sports_table(num_rows=200, seed=3)
+        assert np.array_equal(first["strikeouts"], second["strikeouts"])
+
+    def test_different_seeds_differ(self):
+        first = generate_sports_table(num_rows=200, seed=3)
+        second = generate_sports_table(num_rows=200, seed=4)
+        assert not np.array_equal(first["strikeouts"], second["strikeouts"])
+
+    def test_skyband_attributes_positively_correlated(self):
+        table = generate_sports_table(num_rows=3000, seed=1)
+        correlation = np.corrcoef(table[SKYBAND_X_COLUMN], table[SKYBAND_Y_COLUMN])[0, 1]
+        assert correlation > 0.3
+
+    def test_value_ranges_sane(self):
+        table = generate_sports_table(num_rows=1000, seed=2)
+        assert table["era"].min() >= 0.0
+        assert table["wins"].max() <= 27
+        assert table["strikeouts"].min() >= 0.0
+
+    def test_invalid_rows_rejected(self):
+        with pytest.raises(ValueError):
+            generate_sports_table(num_rows=0)
+
+
+class TestNeighborsGenerator:
+    def test_row_count_and_41_features(self):
+        table = generate_neighbors_table(num_rows=400, seed=0)
+        assert table.num_rows == 400
+        feature_columns = [c for c in table.column_names if c != "is_attack"]
+        assert len(feature_columns) == 41
+
+    def test_deterministic_for_same_seed(self):
+        first = generate_neighbors_table(num_rows=300, seed=5)
+        second = generate_neighbors_table(num_rows=300, seed=5)
+        assert np.array_equal(first[NEIGHBOR_X_COLUMN], second[NEIGHBOR_X_COLUMN])
+
+    def test_anomaly_fraction_respected(self):
+        table = generate_neighbors_table(num_rows=1000, seed=1, anomaly_fraction=0.2)
+        assert table["is_attack"].sum() == pytest.approx(200, abs=1)
+
+    def test_clustered_structure(self):
+        # Normal records should sit far closer to their neighbours than the
+        # uniformly scattered anomalies on average.
+        table = generate_neighbors_table(num_rows=2000, seed=2)
+        points = table.columns([NEIGHBOR_X_COLUMN, NEIGHBOR_Y_COLUMN])
+        spread_normal = points[table["is_attack"] == 0].std(axis=0).mean()
+        spread_attack = points[table["is_attack"] == 1].std(axis=0).mean()
+        assert spread_attack > spread_normal
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_neighbors_table(num_rows=10, anomaly_fraction=1.5)
+        with pytest.raises(ValueError):
+            generate_neighbors_table(num_rows=10, num_clusters=0)
+
+
+class TestSelectivityCalibration:
+    def test_levels_are_increasing(self):
+        fractions = [SELECTIVITY_LEVELS[level] for level in ["XS", "S", "M", "L", "XL", "XXL"]]
+        assert fractions == sorted(fractions)
+
+    @pytest.mark.parametrize("level", ["XS", "S", "L", "XXL"])
+    def test_skyband_calibration_hits_target(self, level):
+        table = generate_sports_table(num_rows=4000, seed=7)
+        result = calibrate_skyband_depth(table, SKYBAND_X_COLUMN, SKYBAND_Y_COLUMN, level)
+        assert abs(result.achieved_fraction - SELECTIVITY_LEVELS[level]) < 0.05
+
+    @pytest.mark.parametrize("level", ["S", "L"])
+    def test_neighbor_calibration_hits_target(self, level):
+        table = generate_neighbors_table(num_rows=4000, seed=11)
+        result = calibrate_neighbor_threshold(
+            table, NEIGHBOR_X_COLUMN, NEIGHBOR_Y_COLUMN, 1.5, level
+        )
+        assert abs(result.achieved_fraction - SELECTIVITY_LEVELS[level]) < 0.06
+
+    def test_explicit_fraction_accepted(self):
+        table = generate_sports_table(num_rows=2000, seed=7)
+        result = calibrate_skyband_depth(table, SKYBAND_X_COLUMN, SKYBAND_Y_COLUMN, 0.33)
+        assert abs(result.achieved_fraction - 0.33) < 0.05
+
+    def test_unknown_level_rejected(self):
+        table = generate_sports_table(num_rows=200, seed=7)
+        with pytest.raises(ValueError):
+            calibrate_skyband_depth(table, SKYBAND_X_COLUMN, SKYBAND_Y_COLUMN, "XXXL")
+
+    def test_out_of_range_fraction_rejected(self):
+        table = generate_sports_table(num_rows=200, seed=7)
+        with pytest.raises(ValueError):
+            calibrate_skyband_depth(table, SKYBAND_X_COLUMN, SKYBAND_Y_COLUMN, 1.5)
+
+    def test_calibration_is_consistent_with_predicate(self):
+        from repro.query.predicates import SkybandPredicate
+
+        table = generate_sports_table(num_rows=3000, seed=9)
+        result = calibrate_skyband_depth(table, SKYBAND_X_COLUMN, SKYBAND_Y_COLUMN, "S")
+        predicate = SkybandPredicate(SKYBAND_X_COLUMN, SKYBAND_Y_COLUMN, k=result.parameter)
+        assert int(predicate.evaluate_all(table).sum()) == result.positive_count

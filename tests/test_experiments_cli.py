@@ -1,0 +1,38 @@
+"""Tests for the command-line experiment runner (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, SCALES, main
+
+
+class TestCliRegistry:
+    def test_every_registered_experiment_has_title_and_runner(self):
+        for name, (title, runner) in EXPERIMENTS.items():
+            assert isinstance(title, str) and title
+            assert callable(runner)
+
+    def test_scale_presets_registered(self):
+        assert set(SCALES) == {"tiny", "small", "paper"}
+
+
+class TestCliExecution:
+    def test_table1_tiny_scale(self, capsys):
+        exit_code = main(["table1", "--scale", "tiny"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Table 1" in captured.out
+        assert "result_size" in captured.out
+
+    def test_ablation_runs(self, capsys):
+        exit_code = main(["ablation", "--scale", "tiny"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "dynpgm" in captured.out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--scale", "galactic"])

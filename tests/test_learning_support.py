@@ -1,0 +1,231 @@
+"""Tests for scaling, metrics, model selection and active learning."""
+
+import numpy as np
+import pytest
+
+from repro.learning.active import augment_training_set, uncertainty_ranking
+from repro.learning.base import check_features, check_labels
+from repro.learning.knn import KNeighborsClassifier
+from repro.learning.logistic import LogisticRegressionClassifier
+from repro.learning.metrics import (
+    ClassificationReport,
+    accuracy,
+    confusion_matrix,
+    false_positive_rate,
+    roc_auc,
+    true_positive_rate,
+)
+from repro.learning.model_selection import (
+    KFold,
+    cross_validated_rates,
+    cross_validated_scores,
+    train_test_split,
+)
+from repro.learning.scaling import StandardScaler
+
+
+class TestValidation:
+    def test_check_features_promotes_1d(self):
+        assert check_features(np.arange(4.0)).shape == (4, 1)
+
+    def test_check_features_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_features(np.array([[np.nan, 1.0]]))
+
+    def test_check_features_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_features(np.empty((0, 2)))
+
+    def test_check_labels_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            check_labels(np.array([0.0, 2.0]))
+
+    def test_check_labels_row_count(self):
+        with pytest.raises(ValueError):
+            check_labels(np.array([0.0, 1.0]), num_rows=3)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(loc=5.0, scale=3.0, size=(200, 3))
+        transformed = StandardScaler().fit_transform(features)
+        assert np.allclose(transformed.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(transformed.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_maps_to_zero(self):
+        features = np.column_stack([np.ones(10), np.arange(10.0)])
+        transformed = StandardScaler().fit_transform(features)
+        assert np.allclose(transformed[:, 0], 0.0)
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((3, 1)))
+
+    def test_feature_count_mismatch_rejected(self):
+        scaler = StandardScaler().fit(np.ones((5, 2)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.ones((5, 3)))
+
+
+class TestMetrics:
+    def test_confusion_matrix_layout(self):
+        true = np.array([0, 0, 1, 1, 1])
+        pred = np.array([0, 1, 1, 1, 0])
+        matrix = confusion_matrix(true, pred)
+        assert matrix.tolist() == [[1, 1], [1, 2]]
+
+    def test_accuracy(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+
+    def test_rates(self):
+        true = np.array([0, 0, 0, 1, 1])
+        pred = np.array([1, 0, 0, 1, 0])
+        assert true_positive_rate(true, pred) == pytest.approx(0.5)
+        assert false_positive_rate(true, pred) == pytest.approx(1 / 3)
+
+    def test_rates_degenerate_classes(self):
+        assert true_positive_rate(np.zeros(4), np.zeros(4)) == 0.0
+        assert false_positive_rate(np.ones(4), np.ones(4)) == 0.0
+
+    def test_auc_perfect_and_inverted(self):
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(labels, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+        assert roc_auc(labels, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+
+    def test_auc_with_ties_is_half(self):
+        labels = np.array([0, 1, 0, 1])
+        assert roc_auc(labels, np.full(4, 0.5)) == pytest.approx(0.5)
+
+    def test_auc_single_class(self):
+        assert roc_auc(np.zeros(5), np.linspace(0, 1, 5)) == 0.5
+
+    def test_report_from_scores(self):
+        labels = np.array([0, 0, 1, 1])
+        report = ClassificationReport.from_scores(labels, np.array([0.1, 0.6, 0.7, 0.9]))
+        assert report.positives == 2
+        assert report.negatives == 2
+        assert report.true_positive_rate == 1.0
+        assert report.false_positive_rate == 0.5
+
+
+class TestModelSelection:
+    def test_kfold_partitions_everything(self):
+        folds = list(KFold(n_splits=4, seed=0).split(23))
+        test_indices = np.concatenate([test for _, test in folds])
+        assert sorted(test_indices.tolist()) == list(range(23))
+
+    def test_kfold_train_test_disjoint(self):
+        for train, test in KFold(n_splits=3, seed=1).split(20):
+            assert set(train).isdisjoint(set(test))
+
+    def test_kfold_too_few_rows(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_kfold_invalid_splits(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=1).split(10))
+
+    def test_train_test_split_sizes(self):
+        features = np.random.default_rng(0).uniform(size=(100, 2))
+        labels = (features[:, 0] > 0.5).astype(float)
+        train_x, train_y, test_x, test_y = train_test_split(features, labels, 0.25, seed=0)
+        assert test_x.shape[0] == 25
+        assert train_x.shape[0] == 75
+        assert train_y.size == 75 and test_y.size == 25
+
+    def test_cross_validated_scores_cover_all_rows(self, separable_data):
+        features, labels = separable_data
+        scores = cross_validated_scores(
+            LogisticRegressionClassifier(n_iterations=100), features, labels, n_splits=4, seed=0
+        )
+        assert scores.shape == labels.shape
+        assert not np.any(np.isnan(scores))
+
+    def test_cross_validated_rates_good_classifier(self, separable_data):
+        features, labels = separable_data
+        tpr, fpr = cross_validated_rates(
+            LogisticRegressionClassifier(n_iterations=200), features, labels, n_splits=4, seed=0
+        )
+        assert tpr > 0.85
+        assert fpr < 0.15
+
+
+class TestActiveLearning:
+    def test_uncertainty_ranking_prefers_toss_ups(self):
+        scores = np.array([0.95, 0.5, 0.1, 0.45])
+        ranking = uncertainty_ranking(scores)
+        assert ranking[0] == 1
+        assert ranking[1] == 3
+
+    def test_augmentation_grows_training_set(self, separable_data):
+        features, labels_all = separable_data
+        oracle = lambda idx: labels_all[np.asarray(idx, dtype=int)]
+        initial = np.arange(0, 40)
+        result = augment_training_set(
+            KNeighborsClassifier(n_neighbors=3),
+            features,
+            candidate_indices=np.arange(features.shape[0]),
+            labelled_indices=initial,
+            labels=labels_all[initial],
+            oracle=oracle,
+            batch_size=10,
+            rounds=2,
+            seed=0,
+        )
+        assert result.labelled_indices.size == 60
+        assert result.rounds == 2
+        assert len(result.history) == 2
+
+    def test_augmentation_batches_are_new_objects(self, separable_data):
+        features, labels_all = separable_data
+        oracle = lambda idx: labels_all[np.asarray(idx, dtype=int)]
+        initial = np.arange(0, 30)
+        result = augment_training_set(
+            KNeighborsClassifier(n_neighbors=3),
+            features,
+            candidate_indices=np.arange(features.shape[0]),
+            labelled_indices=initial,
+            labels=labels_all[initial],
+            oracle=oracle,
+            batch_size=15,
+            rounds=1,
+            seed=1,
+        )
+        assert set(result.history[0]).isdisjoint(set(initial))
+
+    def test_augmentation_improves_or_maintains_accuracy(self, separable_data):
+        features, labels_all = separable_data
+        oracle = lambda idx: labels_all[np.asarray(idx, dtype=int)]
+        rng = np.random.default_rng(3)
+        initial = rng.choice(features.shape[0], size=20, replace=False)
+        base = KNeighborsClassifier(n_neighbors=3)
+        base.fit(features[initial], labels_all[initial])
+        before = accuracy(labels_all, base.predict(features))
+        result = augment_training_set(
+            base,
+            features,
+            candidate_indices=np.arange(features.shape[0]),
+            labelled_indices=initial,
+            labels=labels_all[initial],
+            oracle=oracle,
+            batch_size=20,
+            rounds=2,
+            seed=3,
+        )
+        after = accuracy(labels_all, result.classifier.predict(features))
+        assert after >= before - 0.05
+
+    def test_invalid_batch_size(self, separable_data):
+        features, labels_all = separable_data
+        with pytest.raises(ValueError):
+            augment_training_set(
+                KNeighborsClassifier(),
+                features,
+                np.arange(10),
+                np.arange(5),
+                labels_all[:5],
+                oracle=lambda idx: labels_all[idx],
+                batch_size=0,
+            )

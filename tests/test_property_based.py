@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.stratification.design import (
+    PilotSample,
+    bernoulli_variance_estimate,
+    candidate_boundary_cuts,
+    design_from_cuts,
+    neyman_objective,
+    proportional_objective,
+)
+from repro.learning.metrics import roc_auc
+from repro.query.spatial import dominance_counts
+from repro.sampling.allocation import neyman_allocation, proportional_allocation
+from repro.sampling.intervals import wald_interval, wilson_interval
+from repro.sampling.weighted import DesRajEstimator, normalise_size_measures
+
+SETTINGS = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# -- intervals ---------------------------------------------------------------
+@SETTINGS
+@given(
+    proportion=st.floats(0.0, 1.0),
+    sample_size=st.integers(1, 10_000),
+    confidence=st.floats(0.5, 0.999),
+)
+def test_intervals_are_ordered_and_clipped(proportion, sample_size, confidence):
+    for builder in (wald_interval, wilson_interval):
+        interval = builder(proportion, sample_size, confidence=confidence)
+        assert 0.0 <= interval.low <= interval.high <= 1.0
+
+
+@SETTINGS
+@given(proportion=st.floats(0.05, 0.95), sample_size=st.integers(2, 5_000))
+def test_wilson_contains_point_estimate(proportion, sample_size):
+    interval = wilson_interval(proportion, sample_size)
+    assert interval.low <= proportion <= interval.high
+
+
+# -- allocation ---------------------------------------------------------------
+@SETTINGS
+@given(
+    sizes=arrays(np.int64, st.integers(1, 8), elements=st.integers(0, 500)),
+    budget=st.integers(0, 400),
+)
+def test_proportional_allocation_invariants(sizes, budget):
+    result = proportional_allocation(sizes, budget, min_per_stratum=1)
+    assert np.all(result.counts <= sizes)
+    assert result.total <= max(budget, int(np.minimum(sizes, 1).sum()))
+    assert np.all(result.counts >= 0)
+
+
+@SETTINGS
+@given(
+    sizes=arrays(np.int64, st.integers(1, 8), elements=st.integers(1, 500)),
+    stds=arrays(np.float64, st.integers(1, 8), elements=st.floats(0.0, 0.5)),
+    budget=st.integers(1, 400),
+)
+def test_neyman_allocation_invariants(sizes, stds, budget):
+    if sizes.shape != stds.shape:
+        stds = np.resize(stds, sizes.shape)
+    result = neyman_allocation(sizes, stds, budget, min_per_stratum=1)
+    assert np.all(result.counts <= sizes)
+    assert np.all(result.counts >= 0)
+
+
+# -- Des Raj estimator ---------------------------------------------------------
+@SETTINGS
+@given(
+    labels=arrays(np.float64, st.integers(1, 40), elements=st.sampled_from([0.0, 1.0])),
+    measures=arrays(np.float64, st.integers(1, 40), elements=st.floats(0.0, 1.0)),
+)
+def test_des_raj_estimates_are_finite(labels, measures):
+    size = min(labels.size, measures.size)
+    labels, measures = labels[:size], measures[:size]
+    probabilities = normalise_size_measures(measures, floor=0.05)
+    estimator = DesRajEstimator(population_size=max(size * 3, 1))
+    estimate = estimator.estimate(labels, probabilities[:size] / probabilities[:size].sum())
+    assert np.isfinite(estimate.proportion)
+    assert estimate.variance >= 0.0
+
+
+@SETTINGS
+@given(measures=arrays(np.float64, st.integers(1, 50), elements=st.floats(0.0, 10.0)))
+def test_normalised_measures_are_a_distribution(measures):
+    probabilities = normalise_size_measures(measures, floor=0.01)
+    assert probabilities.min() > 0.0
+    np.testing.assert_allclose(probabilities.sum(), 1.0)
+
+
+# -- dominance counting --------------------------------------------------------
+@SETTINGS
+@given(
+    points=arrays(
+        np.float64,
+        st.tuples(st.integers(1, 60), st.just(2)),
+        elements=st.floats(-100, 100, allow_nan=False),
+    )
+)
+def test_dominance_counts_match_brute_force(points):
+    expected = np.zeros(points.shape[0], dtype=np.int64)
+    for i, (x, y) in enumerate(points):
+        geq = (points[:, 0] >= x) & (points[:, 1] >= y)
+        strict = (points[:, 0] > x) | (points[:, 1] > y)
+        expected[i] = np.sum(geq & strict)
+    assert np.array_equal(dominance_counts(points), expected)
+
+
+# -- classification metrics -----------------------------------------------------
+@SETTINGS
+@given(
+    labels=arrays(np.float64, st.integers(2, 80), elements=st.sampled_from([0.0, 1.0])),
+    scores=arrays(np.float64, st.integers(2, 80), elements=st.floats(0.0, 1.0)),
+)
+def test_auc_bounded_and_symmetric(labels, scores):
+    size = min(labels.size, scores.size)
+    labels, scores = labels[:size], scores[:size]
+    auc = roc_auc(labels, scores)
+    assert 0.0 <= auc <= 1.0
+    if np.unique(labels).size == 2:
+        # Reversing the score ordering mirrors the AUC around one half
+        # (negation is exact in floating point, so ties are preserved).
+        np.testing.assert_allclose(roc_auc(labels, -scores), 1.0 - auc, atol=1e-9)
+
+
+# -- stratification design -------------------------------------------------------
+@st.composite
+def pilot_samples(draw):
+    population = draw(st.integers(30, 300))
+    pilot_size = draw(st.integers(4, min(40, population)))
+    positions = draw(
+        st.lists(
+            st.integers(0, population - 1), min_size=pilot_size, max_size=pilot_size, unique=True
+        )
+    )
+    labels = draw(
+        st.lists(st.sampled_from([0.0, 1.0]), min_size=pilot_size, max_size=pilot_size)
+    )
+    return PilotSample(np.array(sorted(positions)), np.array(labels), population)
+
+
+@SETTINGS
+@given(pilot=pilot_samples())
+def test_candidate_cuts_are_valid_boundaries(pilot):
+    cuts = candidate_boundary_cuts(pilot)
+    assert cuts[0] == 0
+    assert cuts[-1] == pilot.population_size
+    assert np.all(np.diff(cuts) > 0)
+
+
+@SETTINGS
+@given(pilot=pilot_samples(), num_strata=st.integers(1, 5), budget=st.integers(1, 50))
+def test_objectives_are_nonnegative_for_any_cuts(pilot, num_strata, budget):
+    population = pilot.population_size
+    budget = min(budget, population)
+    inner = np.linspace(0, population, num_strata + 1).astype(int)[1:-1]
+    cuts = np.unique(np.concatenate([[0], inner, [population]]))
+    if np.any(np.diff(cuts) <= 0):
+        return
+    sizes, counts, variances = pilot.stratum_statistics(cuts)
+    assert np.all(variances >= 0.0)
+    assert np.all(variances <= 0.25 * counts.clip(min=1) / np.maximum(counts - 1, 1) + 1e-9)
+    assert proportional_objective(sizes, variances, budget, population) >= 0.0
+    # The Neyman objective can only improve on (or match) proportional.
+    assert (
+        neyman_objective(sizes, variances, budget)
+        <= proportional_objective(sizes, variances, budget, population) + 1e-6
+    )
+
+
+@SETTINGS
+@given(pilot=pilot_samples(), budget=st.integers(1, 50))
+def test_design_from_cuts_consistency(pilot, budget):
+    budget = min(budget, pilot.population_size)
+    cuts = np.array([0, pilot.population_size])
+    design = design_from_cuts(pilot, cuts, budget, "neyman", "property")
+    assert design.num_strata == 1
+    assert design.stratum_sizes.sum() == pilot.population_size
+    # The eq.-5 objective is a variance estimate; it only dips below zero by
+    # floating-point epsilon (when the budget covers the whole population).
+    assert design.objective_value >= -1e-9
+
+
+@SETTINGS
+@given(
+    positives=arrays(np.float64, st.integers(1, 10), elements=st.floats(0, 50)),
+    counts=arrays(np.float64, st.integers(1, 10), elements=st.floats(0, 50)),
+)
+def test_bernoulli_variance_bounds(positives, counts):
+    size = min(positives.size, counts.size)
+    positives, counts = positives[:size], counts[:size]
+    positives = np.minimum(positives, counts)
+    variances = bernoulli_variance_estimate(positives, counts)
+    assert np.all(variances >= 0.0)
+    # The unbiased estimator of a Bernoulli variance never exceeds
+    # m/(4(m-1)) <= 1/2 for m >= 2.
+    assert np.all(variances <= 0.5 + 1e-9)

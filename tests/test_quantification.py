@@ -1,0 +1,103 @@
+"""Tests for the quantification-learning estimators."""
+
+import numpy as np
+import pytest
+
+from repro.learning.dummy import MajorityClassifier, RandomScoreClassifier
+from repro.quantification.adjusted_count import AdjustedCount, adjusted_count
+from repro.quantification.classify_count import ClassifyAndCount
+from repro.sampling.rng import spawn_seeds
+
+
+class TestAdjustedCountFormula:
+    def test_perfect_classifier_identity(self):
+        assert adjusted_count(30, 100, 1.0, 0.0) == 30
+
+    def test_known_rates_corrected(self):
+        # With tpr=0.8 and fpr=0.1 over 100 test objects, 30 observed
+        # positives correspond to (30 - 10) / 0.7 ≈ 28.57 actual positives.
+        assert adjusted_count(30, 100, 0.8, 0.1) == pytest.approx((30 - 10) / 0.7)
+
+    def test_clipped_to_feasible_range(self):
+        assert adjusted_count(95, 100, 0.6, 0.05) <= 100
+        assert adjusted_count(2, 100, 0.9, 0.5, minimum_rate_gap=0.0) >= 0
+
+    def test_small_gap_falls_back_to_observed(self):
+        assert adjusted_count(40, 100, 0.52, 0.50) == 40
+
+    def test_negative_test_size_rejected(self):
+        with pytest.raises(ValueError):
+            adjusted_count(1, -1, 0.9, 0.1)
+
+
+class TestClassifyAndCount:
+    def test_accurate_with_learnable_predicate(self, threshold_query):
+        estimate = ClassifyAndCount().estimate(threshold_query, 150, seed=0)
+        assert estimate.method == "qlcc"
+        assert estimate.interval is None
+        assert estimate.relative_error(threshold_query.true_count()) < 0.2
+
+    def test_majority_classifier_gives_skewed_estimate(self, threshold_query):
+        # An overconfident constant classifier counts everything (or nothing),
+        # demonstrating QLCC's sensitivity to classifier errors.
+        estimate = ClassifyAndCount(classifier=MajorityClassifier()).estimate(
+            threshold_query, 100, seed=1
+        )
+        true = threshold_query.true_count()
+        assert estimate.relative_error(true) > 0.4
+
+    def test_budget_accounting(self, threshold_query):
+        threshold_query.reset_accounting()
+        ClassifyAndCount().estimate(threshold_query, 80, seed=2)
+        assert threshold_query.evaluations == 80
+
+    def test_active_learning_variant_runs(self, threshold_query):
+        estimate = ClassifyAndCount(active_learning_rounds=1).estimate(
+            threshold_query, 100, seed=3
+        )
+        assert estimate.count >= 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ClassifyAndCount(threshold=0.0)
+
+    def test_minimum_budget(self, threshold_query):
+        with pytest.raises(ValueError):
+            ClassifyAndCount().estimate(threshold_query, 1)
+
+
+class TestAdjustedCountEstimator:
+    def test_accurate_with_learnable_predicate(self, threshold_query):
+        estimate = AdjustedCount().estimate(threshold_query, 150, seed=0)
+        assert estimate.method == "qlac"
+        assert estimate.relative_error(threshold_query.true_count()) < 0.25
+        assert 0.0 <= estimate.details["estimated_tpr"] <= 1.0
+        assert 0.0 <= estimate.details["estimated_fpr"] <= 1.0
+
+    def test_adjustment_counteracts_random_classifier_bias(self, threshold_query):
+        # A random-score classifier labels ~half of everything positive; the
+        # adjusted count should not be systematically larger than QLCC error.
+        true = threshold_query.true_count()
+        cc_errors, ac_errors = [], []
+        for seed in spawn_seeds(5, 10):
+            cc = ClassifyAndCount(classifier=RandomScoreClassifier(seed=1)).estimate(
+                threshold_query, 120, seed=seed
+            )
+            ac = AdjustedCount(classifier=RandomScoreClassifier(seed=1)).estimate(
+                threshold_query, 120, seed=seed
+            )
+            cc_errors.append(cc.relative_error(true))
+            ac_errors.append(ac.relative_error(true))
+        assert np.median(ac_errors) <= np.median(cc_errors) + 0.6
+
+    def test_estimate_within_feasible_range(self, threshold_query):
+        estimate = AdjustedCount().estimate(threshold_query, 60, seed=4)
+        assert 0 <= estimate.count <= threshold_query.num_objects
+
+    def test_invalid_cv_folds(self):
+        with pytest.raises(ValueError):
+            AdjustedCount(cv_folds=1)
+
+    def test_budget_below_folds_rejected(self, threshold_query):
+        with pytest.raises(ValueError):
+            AdjustedCount(cv_folds=5).estimate(threshold_query, 3)

@@ -1,0 +1,131 @@
+"""Tests for repro.query.predicates and repro.query.counting."""
+
+import numpy as np
+import pytest
+
+from repro.query.counting import CountingQuery
+from repro.query.predicates import CallablePredicate, NeighborCountPredicate, SkybandPredicate
+from repro.query.table import Table
+
+
+class TestNeighborCountPredicate:
+    def test_per_object_matches_bulk(self, small_points_table):
+        predicate = NeighborCountPredicate("x", "y", max_neighbors=3, distance=0.5)
+        bulk = predicate.evaluate_all(small_points_table)
+        sample = np.arange(0, small_points_table.num_rows, 11)
+        assert np.array_equal(predicate.evaluate(small_points_table, sample), bulk[sample])
+
+    def test_scattered_points_are_positive(self, small_points_table):
+        predicate = NeighborCountPredicate("x", "y", max_neighbors=3, distance=0.5)
+        labels = predicate.evaluate_all(small_points_table)
+        # The scattered tail (last 40 rows) is mostly sparse; the dense
+        # cluster (first 160 rows) mostly is not.
+        assert labels[160:].mean() > labels[:160].mean()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NeighborCountPredicate("x", "y", max_neighbors=-1, distance=1.0)
+        with pytest.raises(ValueError):
+            NeighborCountPredicate("x", "y", max_neighbors=1, distance=0.0)
+
+    def test_neighbor_counts_exposed_for_calibration(self, small_points_table):
+        predicate = NeighborCountPredicate("x", "y", max_neighbors=3, distance=0.5)
+        counts = predicate.neighbor_counts(small_points_table)
+        assert counts.shape == (small_points_table.num_rows,)
+        assert np.all(counts >= 0)
+
+
+class TestSkybandPredicate:
+    def test_per_object_matches_bulk(self, small_points_table):
+        predicate = SkybandPredicate("x", "y", k=4)
+        bulk = predicate.evaluate_all(small_points_table)
+        sample = np.arange(0, small_points_table.num_rows, 13)
+        assert np.array_equal(predicate.evaluate(small_points_table, sample), bulk[sample])
+
+    def test_k1_is_classic_skyline(self):
+        table = Table({"x": [1.0, 2.0, 3.0], "y": [3.0, 2.0, 1.0]})
+        predicate = SkybandPredicate("x", "y", k=1)
+        assert predicate.evaluate_all(table).tolist() == [1.0, 1.0, 1.0]
+
+    def test_dominated_point_excluded_from_skyline(self):
+        table = Table({"x": [1.0, 2.0], "y": [1.0, 2.0]})
+        predicate = SkybandPredicate("x", "y", k=1)
+        assert predicate.evaluate_all(table).tolist() == [0.0, 1.0]
+
+    def test_larger_k_is_monotone(self, small_points_table):
+        small_k = SkybandPredicate("x", "y", k=2).evaluate_all(small_points_table)
+        large_k = SkybandPredicate("x", "y", k=10).evaluate_all(small_points_table)
+        assert np.all(large_k >= small_k)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SkybandPredicate("x", "y", k=0)
+
+
+class TestCallablePredicate:
+    def test_function_and_bulk_agree(self):
+        table = Table({"v": np.arange(20.0)})
+        predicate = CallablePredicate(
+            function=lambda tbl, index: tbl["v"][index] >= 10,
+            feature_columns=("v",),
+            bulk_function=lambda tbl: (tbl["v"] >= 10).astype(float),
+        )
+        assert np.array_equal(
+            predicate.evaluate(table, np.arange(20)), predicate.evaluate_all(table)
+        )
+
+    def test_default_bulk_falls_back_to_loop(self):
+        table = Table({"v": np.arange(5.0)})
+        predicate = CallablePredicate(
+            function=lambda tbl, index: tbl["v"][index] > 2, feature_columns=("v",)
+        )
+        assert predicate.evaluate_all(table).tolist() == [0, 0, 0, 1, 1]
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CallablePredicate(lambda t, i: True, ("v",), simulated_cost_seconds=-1.0)
+
+
+class TestCountingQuery:
+    def test_ground_truth_and_proportion(self, threshold_query):
+        labels = threshold_query.ground_truth_labels()
+        assert threshold_query.true_count() == int(labels.sum())
+        assert threshold_query.true_proportion() == pytest.approx(labels.mean())
+
+    def test_evaluation_accounting(self, threshold_query):
+        threshold_query.reset_accounting()
+        threshold_query.evaluate(np.arange(10))
+        threshold_query.evaluate(np.arange(5))
+        assert threshold_query.evaluations == 15
+        threshold_query.reset_accounting()
+        assert threshold_query.evaluations == 0
+
+    def test_cached_and_uncached_agree(self, small_points_table):
+        predicate = NeighborCountPredicate("x", "y", max_neighbors=3, distance=0.5)
+        cached = CountingQuery(small_points_table, predicate, cache_labels=True)
+        uncached = CountingQuery(small_points_table, predicate, cache_labels=False)
+        indices = np.arange(0, small_points_table.num_rows, 17)
+        assert np.array_equal(cached.evaluate(indices), uncached.evaluate(indices))
+
+    def test_features_default_to_predicate_columns(self, neighbor_query):
+        assert neighbor_query.feature_columns == ("x", "y")
+        assert neighbor_query.features().shape == (neighbor_query.num_objects, 2)
+
+    def test_features_subset(self, neighbor_query):
+        subset = neighbor_query.features(np.array([0, 5, 7]))
+        assert subset.shape == (3, 2)
+
+    def test_missing_feature_columns_rejected(self, small_points_table):
+        predicate = CallablePredicate(lambda t, i: True, feature_columns=("nope",))
+        with pytest.raises(ValueError):
+            CountingQuery(small_points_table, predicate)
+
+    def test_no_feature_columns_rejected(self, small_points_table):
+        predicate = CallablePredicate(lambda t, i: True, feature_columns=())
+        with pytest.raises(ValueError):
+            CountingQuery(small_points_table, predicate)
+
+    def test_object_indices_enumerate_all(self, neighbor_query):
+        indices = neighbor_query.object_indices()
+        assert indices.size == neighbor_query.num_objects
+        assert indices[0] == 0 and indices[-1] == neighbor_query.num_objects - 1

@@ -1,0 +1,119 @@
+"""Tests for repro.query.spatial."""
+
+import numpy as np
+import pytest
+
+from repro.query.spatial import (
+    FenwickTree,
+    GridIndex,
+    dominance_count_single,
+    dominance_counts,
+    neighbor_counts,
+)
+
+
+def brute_force_neighbor_counts(points: np.ndarray, radius: float) -> np.ndarray:
+    deltas = points[:, None, :] - points[None, :, :]
+    distances = np.sqrt(np.einsum("ijk,ijk->ij", deltas, deltas))
+    return (distances <= radius).sum(axis=1) - 1
+
+
+def brute_force_dominance_counts(points: np.ndarray) -> np.ndarray:
+    counts = np.zeros(points.shape[0], dtype=np.int64)
+    for i, (x, y) in enumerate(points):
+        geq = (points[:, 0] >= x) & (points[:, 1] >= y)
+        strict = (points[:, 0] > x) | (points[:, 1] > y)
+        counts[i] = np.sum(geq & strict)
+    return counts
+
+
+class TestFenwickTree:
+    def test_prefix_and_suffix_sums(self):
+        tree = FenwickTree(8)
+        for position in [0, 3, 3, 7]:
+            tree.add(position)
+        assert tree.prefix_sum(0) == 1
+        assert tree.prefix_sum(3) == 3
+        assert tree.prefix_sum(7) == 4
+        assert tree.suffix_sum(3) == 3
+        assert tree.suffix_sum(0) == 4
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            FenwickTree(0)
+
+
+class TestGridIndex:
+    def test_count_within_matches_brute_force(self, rng):
+        points = rng.uniform(0.0, 10.0, size=(120, 2))
+        radius = 1.0
+        index = GridIndex(points, cell_size=radius)
+        expected = brute_force_neighbor_counts(points, radius)
+        for i in range(0, 120, 7):
+            assert index.count_within(i, radius) == expected[i]
+
+    def test_bulk_counts_match_brute_force(self, rng):
+        points = rng.uniform(0.0, 5.0, size=(150, 2))
+        radius = 0.8
+        assert np.array_equal(
+            GridIndex(points, cell_size=radius).count_within_bulk(radius),
+            brute_force_neighbor_counts(points, radius),
+        )
+
+    def test_bulk_counts_with_smaller_cells(self, rng):
+        points = rng.uniform(0.0, 5.0, size=(100, 2))
+        radius = 0.9
+        small_cells = GridIndex(points, cell_size=0.3).count_within_bulk(radius)
+        assert np.array_equal(small_cells, brute_force_neighbor_counts(points, radius))
+
+    def test_include_self_option(self, rng):
+        points = rng.uniform(size=(30, 2))
+        index = GridIndex(points, cell_size=0.5)
+        with_self = index.count_within_bulk(0.5, exclude_self=False)
+        without_self = index.count_within_bulk(0.5, exclude_self=True)
+        assert np.array_equal(with_self, without_self + 1)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            GridIndex(rng.uniform(size=(5, 3)), cell_size=1.0)
+        with pytest.raises(ValueError):
+            GridIndex(rng.uniform(size=(5, 2)), cell_size=0.0)
+        with pytest.raises(ValueError):
+            GridIndex(rng.uniform(size=(5, 2)), cell_size=1.0).count_within(0, 0.0)
+
+    def test_neighbor_counts_helper(self, rng):
+        points = rng.uniform(size=(60, 2))
+        assert np.array_equal(
+            neighbor_counts(points, 0.4), brute_force_neighbor_counts(points, 0.4)
+        )
+
+
+class TestDominanceCounts:
+    def test_matches_brute_force_random(self, rng):
+        points = rng.uniform(size=(200, 2))
+        assert np.array_equal(dominance_counts(points), brute_force_dominance_counts(points))
+
+    def test_matches_brute_force_with_duplicates(self, rng):
+        base = rng.integers(0, 5, size=(100, 2)).astype(float)
+        assert np.array_equal(dominance_counts(base), brute_force_dominance_counts(base))
+
+    def test_single_point(self):
+        assert dominance_counts(np.array([[1.0, 2.0]])).tolist() == [0]
+
+    def test_empty_input(self):
+        assert dominance_counts(np.empty((0, 2))).size == 0
+
+    def test_chain_ordering(self):
+        # Strictly increasing points: each is dominated by all that follow.
+        points = np.column_stack([np.arange(5.0), np.arange(5.0)])
+        assert dominance_counts(points).tolist() == [4, 3, 2, 1, 0]
+
+    def test_single_count_matches_bulk(self, rng):
+        points = rng.uniform(size=(80, 2))
+        bulk = dominance_counts(points)
+        for i in range(0, 80, 9):
+            assert dominance_count_single(points, i) == bulk[i]
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            dominance_counts(np.zeros((3, 3)))

@@ -1,0 +1,92 @@
+"""Tests for repro.query.table."""
+
+import numpy as np
+import pytest
+
+from repro.query.table import Table
+
+
+class TestTableConstruction:
+    def test_basic_properties(self):
+        table = Table({"a": [1, 2, 3], "b": [4.0, 5.0, 6.0]}, name="demo")
+        assert table.num_rows == 3
+        assert len(table) == 3
+        assert table.column_names == ["a", "b"]
+        assert "a" in table
+        assert "missing" not in table
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table({})
+
+    def test_two_dimensional_column_rejected(self):
+        with pytest.raises(ValueError):
+            Table({"a": np.zeros((2, 2))})
+
+
+class TestTableAccess:
+    def test_column_and_getitem(self):
+        table = Table({"a": [1, 2, 3]})
+        assert np.array_equal(table.column("a"), table["a"])
+
+    def test_unknown_column_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            Table({"a": [1]}).column("b")
+
+    def test_columns_stacks_as_float_matrix(self):
+        table = Table({"a": [1, 2], "b": [3, 4]})
+        matrix = table.columns(["b", "a"])
+        assert matrix.shape == (2, 2)
+        assert matrix.dtype == np.float64
+        assert matrix[0].tolist() == [3.0, 1.0]
+
+    def test_columns_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            Table({"a": [1]}).columns([])
+
+    def test_row_and_to_records(self):
+        table = Table({"a": [1, 2], "b": ["x", "y"]})
+        assert table.row(1) == {"a": 2, "b": "y"}
+        assert table.to_records()[0] == {"a": 1, "b": "x"}
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            Table({"a": [1]}).row(5)
+
+
+class TestTableTransforms:
+    def test_take_preserves_columns(self):
+        table = Table({"a": [10, 20, 30]})
+        taken = table.take([2, 0])
+        assert taken["a"].tolist() == [30, 10]
+
+    def test_filter_by_mask(self):
+        table = Table({"a": [1, 2, 3, 4]})
+        filtered = table.filter(np.array([True, False, True, False]))
+        assert filtered["a"].tolist() == [1, 3]
+
+    def test_filter_wrong_mask_length(self):
+        with pytest.raises(ValueError):
+            Table({"a": [1, 2]}).filter(np.array([True]))
+
+    def test_with_column_adds_and_replaces(self):
+        table = Table({"a": [1, 2]})
+        extended = table.with_column("b", [5, 6])
+        assert extended.column_names == ["a", "b"]
+        replaced = extended.with_column("a", [9, 9])
+        assert replaced["a"].tolist() == [9, 9]
+        # Original untouched.
+        assert table.column_names == ["a"]
+
+    def test_from_records_round_trip(self):
+        records = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        table = Table.from_records(records)
+        assert table.to_records() == records
+
+    def test_from_records_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Table.from_records([])

@@ -1,0 +1,104 @@
+"""Tests for repro.sampling.allocation."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.allocation import (
+    neyman_allocation,
+    proportional_allocation,
+    rebalance_allocation,
+)
+
+
+class TestProportionalAllocation:
+    def test_totals_match_budget(self):
+        sizes = np.array([100, 200, 700])
+        result = proportional_allocation(sizes, 100, min_per_stratum=1)
+        assert result.total == 100
+
+    def test_proportional_shape(self):
+        sizes = np.array([100, 300, 600])
+        result = proportional_allocation(sizes, 100, min_per_stratum=0)
+        assert result.counts[2] > result.counts[1] > result.counts[0]
+
+    def test_never_exceeds_stratum_size(self):
+        sizes = np.array([3, 1000])
+        result = proportional_allocation(sizes, 500, min_per_stratum=1)
+        assert result.counts[0] <= 3
+
+    def test_minimum_respected(self):
+        sizes = np.array([50, 50, 9000])
+        result = proportional_allocation(sizes, 90, min_per_stratum=5)
+        assert np.all(result.counts >= 5)
+
+    def test_budget_larger_than_population(self):
+        sizes = np.array([4, 6])
+        result = proportional_allocation(sizes, 100)
+        assert result.total == 10
+        assert np.array_equal(result.counts, sizes)
+
+    def test_zero_sized_strata_get_nothing(self):
+        sizes = np.array([0, 10])
+        result = proportional_allocation(sizes, 5)
+        assert result.counts[0] == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            proportional_allocation(np.array([10]), -1)
+
+
+class TestNeymanAllocation:
+    def test_more_samples_to_higher_variance(self):
+        sizes = np.array([500, 500])
+        stds = np.array([0.1, 0.5])
+        result = neyman_allocation(sizes, stds, 100, min_per_stratum=1)
+        assert result.counts[1] > result.counts[0]
+
+    def test_zero_std_everywhere_falls_back_to_proportional(self):
+        sizes = np.array([100, 300])
+        stds = np.zeros(2)
+        result = neyman_allocation(sizes, stds, 40, min_per_stratum=0)
+        proportional = proportional_allocation(sizes, 40, min_per_stratum=0)
+        assert np.array_equal(result.counts, proportional.counts)
+
+    def test_zero_std_stratum_still_gets_minimum(self):
+        sizes = np.array([100, 100])
+        stds = np.array([0.0, 0.5])
+        result = neyman_allocation(sizes, stds, 50, min_per_stratum=2)
+        assert result.counts[0] >= 2
+
+    def test_totals_match_budget(self):
+        sizes = np.array([100, 100, 100])
+        stds = np.array([0.1, 0.2, 0.3])
+        assert neyman_allocation(sizes, stds, 60).total == 60
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            neyman_allocation(np.array([10]), np.array([-0.1]), 5)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            neyman_allocation(np.array([10, 20]), np.array([0.5]), 5)
+
+
+class TestRebalanceAllocation:
+    def test_caps_at_capacity(self):
+        raw = np.array([10.0, 10.0])
+        sizes = np.array([4, 100])
+        result = rebalance_allocation(raw, sizes, 20, min_per_stratum=1)
+        assert result.counts[0] <= 4
+        assert result.total == 20
+
+    def test_overshoot_trimmed_to_budget(self):
+        raw = np.array([50.0, 50.0])
+        sizes = np.array([100, 100])
+        result = rebalance_allocation(raw, sizes, 30, min_per_stratum=1)
+        assert result.total == 30
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            rebalance_allocation(np.array([]), np.array([]), 10)
+
+    def test_mismatched_raw_rejected(self):
+        with pytest.raises(ValueError):
+            rebalance_allocation(np.array([1.0]), np.array([10, 20]), 10)

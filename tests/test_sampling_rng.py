@@ -1,0 +1,100 @@
+"""Tests for repro.sampling.rng."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.rng import (
+    as_index_array,
+    resolve_rng,
+    sample_without_replacement,
+    spawn_seeds,
+    split_indices,
+)
+
+
+class TestResolveRng:
+    def test_integer_seed_is_deterministic(self):
+        assert resolve_rng(7).integers(1000) == resolve_rng(7).integers(1000)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert resolve_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+
+class TestSpawnSeeds:
+    def test_returns_requested_count(self):
+        assert len(spawn_seeds(3, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_seeds(3, 2)
+        assert children[0].integers(10**9) != children[1].integers(10**9)
+
+    def test_reproducible_from_same_master_seed(self):
+        first = [g.integers(10**9) for g in spawn_seeds(11, 3)]
+        second = [g.integers(10**9) for g in spawn_seeds(11, 3)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_generator_master_seed_supported(self):
+        children = spawn_seeds(np.random.default_rng(5), 4)
+        assert len(children) == 4
+
+
+class TestSampleWithoutReplacement:
+    def test_distinct_elements(self):
+        drawn = sample_without_replacement(100, 30, seed=0)
+        assert np.unique(drawn).size == 30
+
+    def test_population_as_array(self):
+        population = np.array([5, 9, 13, 21])
+        drawn = sample_without_replacement(population, 2, seed=1)
+        assert set(drawn).issubset(set(population))
+
+    def test_full_population_is_permutation(self):
+        drawn = sample_without_replacement(10, 10, seed=2)
+        assert sorted(drawn) == list(range(10))
+
+    def test_oversampling_rejected(self):
+        with pytest.raises(ValueError):
+            sample_without_replacement(5, 6, seed=0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            sample_without_replacement(5, -1, seed=0)
+
+    def test_deterministic_given_seed(self):
+        assert np.array_equal(
+            sample_without_replacement(50, 10, seed=9),
+            sample_without_replacement(50, 10, seed=9),
+        )
+
+
+class TestSplitIndices:
+    def test_partition_is_disjoint_and_complete(self):
+        indices = np.arange(40)
+        first, second = split_indices(indices, 0.25, seed=0)
+        assert first.size == 10
+        assert second.size == 30
+        assert set(first).isdisjoint(set(second))
+        assert set(first) | set(second) == set(indices.tolist())
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            split_indices(np.arange(10), 1.5, seed=0)
+
+
+class TestAsIndexArray:
+    def test_list_converted(self):
+        array = as_index_array([3, 1, 2])
+        assert array.dtype == np.int64
+        assert array.tolist() == [3, 1, 2]
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            as_index_array(np.zeros((2, 2)))

@@ -1,0 +1,106 @@
+"""Tests for repro.sampling.srs."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.rng import spawn_seeds
+from repro.sampling.srs import SimpleRandomSampling, evaluate_labels
+
+
+def make_oracle(labels: np.ndarray):
+    return lambda indices: labels[np.asarray(indices, dtype=int)]
+
+
+class TestEvaluateLabels:
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            evaluate_labels(lambda idx: np.zeros(3), np.arange(5))
+
+    def test_validates_range(self):
+        with pytest.raises(ValueError):
+            evaluate_labels(lambda idx: np.full(idx.shape, 2.0), np.arange(5))
+
+    def test_boolean_labels_accepted(self):
+        labels = evaluate_labels(lambda idx: idx > 2, np.arange(5))
+        assert labels.tolist() == [0, 0, 0, 1, 1]
+
+
+class TestSimpleRandomSampling:
+    def test_full_sample_is_exact(self):
+        labels = np.array([1, 0, 1, 1, 0, 0, 0, 1, 0, 0], dtype=float)
+        estimate = SimpleRandomSampling().estimate(
+            np.arange(10), make_oracle(labels), sample_size=10, seed=0
+        )
+        assert estimate.count == pytest.approx(labels.sum())
+        assert estimate.variance == pytest.approx(0.0)
+
+    def test_counts_evaluations(self):
+        labels = np.zeros(100)
+        estimate = SimpleRandomSampling().estimate(
+            np.arange(100), make_oracle(labels), sample_size=25, seed=1
+        )
+        assert estimate.predicate_evaluations == 25
+
+    def test_unbiasedness_over_trials(self):
+        rng = np.random.default_rng(5)
+        labels = (rng.uniform(size=400) < 0.3).astype(float)
+        true_count = labels.sum()
+        estimator = SimpleRandomSampling()
+        estimates = [
+            estimator.estimate(np.arange(400), make_oracle(labels), 80, seed=child).count
+            for child in spawn_seeds(7, 200)
+        ]
+        assert np.mean(estimates) == pytest.approx(true_count, rel=0.05)
+
+    def test_interval_coverage_reasonable(self):
+        rng = np.random.default_rng(6)
+        labels = (rng.uniform(size=500) < 0.4).astype(float)
+        true_count = labels.sum()
+        estimator = SimpleRandomSampling(confidence=0.95)
+        covered = [
+            estimator.estimate(np.arange(500), make_oracle(labels), 100, seed=child).covers(
+                true_count
+            )
+            for child in spawn_seeds(11, 100)
+        ]
+        assert np.mean(covered) >= 0.85
+
+    def test_auto_interval_uses_wilson_for_extreme_proportion(self):
+        labels = np.zeros(200)
+        estimate = SimpleRandomSampling(interval="auto").estimate(
+            np.arange(200), make_oracle(labels), 50, seed=2
+        )
+        assert estimate.interval.method == "wilson"
+
+    def test_auto_interval_uses_wald_for_moderate_proportion(self):
+        labels = np.array([i % 2 for i in range(200)], dtype=float)
+        estimate = SimpleRandomSampling(interval="auto").estimate(
+            np.arange(200), make_oracle(labels), 60, seed=2
+        )
+        assert estimate.interval.method == "wald"
+
+    def test_sample_size_clamped_to_population(self):
+        labels = np.ones(10)
+        estimate = SimpleRandomSampling().estimate(
+            np.arange(10), make_oracle(labels), sample_size=50, seed=3
+        )
+        assert estimate.predicate_evaluations == 10
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            SimpleRandomSampling().estimate(np.array([]), make_oracle(np.ones(1)), 1)
+
+    def test_unknown_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SimpleRandomSampling(interval="bogus")
+
+    def test_estimate_from_labels(self):
+        estimate = SimpleRandomSampling().estimate_from_labels(
+            np.array([1.0, 0.0, 1.0, 0.0]), population_size=100
+        )
+        assert estimate.count == pytest.approx(50.0)
+        assert estimate.predicate_evaluations == 4
+
+    def test_estimate_from_labels_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SimpleRandomSampling().estimate_from_labels(np.array([]), 10)

@@ -1,0 +1,153 @@
+"""Tests for repro.sampling.stratified."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.rng import spawn_seeds
+from repro.sampling.stratified import (
+    StrataPartition,
+    StratifiedSampling,
+    TwoStageNeymanSampling,
+    attribute_grid_strata,
+    equal_count_strata,
+    equal_width_strata,
+)
+
+
+def make_oracle(labels: np.ndarray):
+    return lambda indices: labels[np.asarray(indices, dtype=int)]
+
+
+class TestStrataPartition:
+    def test_sizes_and_population(self):
+        partition = StrataPartition([np.arange(5), np.arange(5, 12)])
+        assert partition.sizes.tolist() == [5, 7]
+        assert partition.population_size == 12
+        assert partition.num_strata == 2
+
+    def test_non_empty_drops_empty_strata(self):
+        partition = StrataPartition([np.arange(3), np.array([], dtype=int)])
+        assert partition.non_empty().num_strata == 1
+
+    def test_validate_disjoint_raises_on_overlap(self):
+        partition = StrataPartition([np.array([1, 2]), np.array([2, 3])])
+        with pytest.raises(ValueError):
+            partition.validate_disjoint()
+
+    def test_validate_disjoint_passes(self):
+        StrataPartition([np.array([1, 2]), np.array([3])]).validate_disjoint()
+
+
+class TestStrataConstruction:
+    def test_equal_width_covers_everything(self):
+        values = np.linspace(0, 1, 100)
+        partition = equal_width_strata(values, 4)
+        assert partition.population_size == 100
+        partition.validate_disjoint()
+
+    def test_equal_width_degenerate_values(self):
+        partition = equal_width_strata(np.zeros(10), 3)
+        assert partition.population_size == 10
+
+    def test_equal_count_sizes_nearly_equal(self):
+        partition = equal_count_strata(np.random.default_rng(0).uniform(size=103), 4)
+        assert max(partition.sizes) - min(partition.sizes) <= 1
+
+    def test_equal_count_invalid_strata(self):
+        with pytest.raises(ValueError):
+            equal_count_strata(np.arange(5), 0)
+
+    def test_attribute_grid_partition_is_disjoint_and_complete(self):
+        features = np.random.default_rng(1).uniform(size=(200, 2))
+        partition = attribute_grid_strata(features, 3)
+        assert partition.population_size == 200
+        partition.validate_disjoint()
+
+    def test_attribute_grid_one_dimensional_input(self):
+        partition = attribute_grid_strata(np.arange(30, dtype=float), 3)
+        assert partition.num_strata == 3
+
+
+class TestStratifiedSampling:
+    def test_exact_when_fully_sampled(self):
+        labels = np.array([1, 1, 1, 1, 0, 0, 0, 0, 0, 0], dtype=float)
+        partition = StrataPartition([np.arange(4), np.arange(4, 10)])
+        estimate = StratifiedSampling().estimate(partition, make_oracle(labels), 10, seed=0)
+        assert estimate.count == pytest.approx(4.0)
+
+    def test_homogeneous_strata_give_zero_variance(self):
+        labels = np.concatenate([np.ones(50), np.zeros(50)])
+        partition = StrataPartition([np.arange(50), np.arange(50, 100)])
+        estimate = StratifiedSampling().estimate(partition, make_oracle(labels), 20, seed=1)
+        assert estimate.count == pytest.approx(50.0)
+        assert estimate.variance == pytest.approx(0.0)
+
+    def test_unbiased_over_trials(self):
+        rng = np.random.default_rng(3)
+        labels = (rng.uniform(size=300) < 0.25).astype(float)
+        partition = StrataPartition([np.arange(100), np.arange(100, 300)])
+        estimator = StratifiedSampling()
+        estimates = [
+            estimator.estimate(partition, make_oracle(labels), 60, seed=child).count
+            for child in spawn_seeds(5, 150)
+        ]
+        assert np.mean(estimates) == pytest.approx(labels.sum(), rel=0.06)
+
+    def test_neyman_requires_stds(self):
+        partition = StrataPartition([np.arange(10), np.arange(10, 20)])
+        estimator = StratifiedSampling(allocation="neyman")
+        with pytest.raises(ValueError):
+            estimator.allocate(partition, 10)
+
+    def test_unknown_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            StratifiedSampling(allocation="optimal")
+
+    def test_estimate_from_samples_weighting(self):
+        partition = StrataPartition([np.arange(90), np.arange(90, 100)])
+        estimator = StratifiedSampling()
+        estimate = estimator.estimate_from_samples(
+            partition, [np.array([0.0, 0.0]), np.array([1.0, 1.0])]
+        )
+        # 90 objects at proportion 0 plus 10 objects at proportion 1.
+        assert estimate.count == pytest.approx(10.0)
+
+    def test_empty_partition_rejected(self):
+        partition = StrataPartition([np.array([], dtype=int)])
+        with pytest.raises(ValueError):
+            StratifiedSampling().estimate_from_samples(partition, [np.array([])])
+
+    def test_variance_beats_srs_with_good_strata(self):
+        # Strata separate the classes almost perfectly: the stratified
+        # estimator's reported variance must be far below the SRS variance.
+        rng = np.random.default_rng(9)
+        labels = np.concatenate([np.ones(100), np.zeros(400)])
+        partition = StrataPartition([np.arange(100), np.arange(100, 500)])
+        stratified = StratifiedSampling().estimate(partition, make_oracle(labels), 80, seed=4)
+        srs_variance = 0.2 * 0.8 / 80
+        assert stratified.variance < srs_variance
+
+
+class TestTwoStageNeymanSampling:
+    def test_runs_and_counts_evaluations(self):
+        rng = np.random.default_rng(4)
+        labels = (rng.uniform(size=400) < 0.3).astype(float)
+        partition = StrataPartition([np.arange(200), np.arange(200, 400)])
+        estimate = TwoStageNeymanSampling().estimate(partition, make_oracle(labels), 80, seed=2)
+        assert estimate.method == "ssn"
+        assert estimate.predicate_evaluations <= 82
+
+    def test_unbiased_over_trials(self):
+        rng = np.random.default_rng(8)
+        labels = (rng.uniform(size=300) < 0.2).astype(float)
+        partition = StrataPartition([np.arange(150), np.arange(150, 300)])
+        estimator = TwoStageNeymanSampling()
+        estimates = [
+            estimator.estimate(partition, make_oracle(labels), 60, seed=child).count
+            for child in spawn_seeds(21, 120)
+        ]
+        assert np.mean(estimates) == pytest.approx(labels.sum(), rel=0.08)
+
+    def test_invalid_pilot_fraction(self):
+        with pytest.raises(ValueError):
+            TwoStageNeymanSampling(pilot_fraction=1.0)

@@ -1,0 +1,164 @@
+"""Tests for the stratification design primitives (PilotSample, objectives)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stratification.design import (
+    PilotSample,
+    bernoulli_variance_estimate,
+    candidate_boundary_cuts,
+    default_minimum_stratum_size,
+    design_from_cuts,
+    general_objective,
+    neyman_objective,
+    proportional_objective,
+    smoothed_bernoulli_std,
+    validate_cuts,
+)
+
+
+def make_pilot(population=100, positions=(10, 20, 30, 60, 70, 90), labels=(0, 0, 1, 1, 0, 1)):
+    return PilotSample(np.array(positions), np.array(labels, dtype=float), population)
+
+
+class TestPilotSample:
+    def test_gamma_prefix_sums(self):
+        pilot = make_pilot()
+        assert pilot.gamma.tolist() == [0, 0, 0, 1, 2, 2, 3]
+
+    def test_positions_sorted_internally(self):
+        pilot = PilotSample(np.array([30, 10]), np.array([1.0, 0.0]), 50)
+        assert pilot.positions.tolist() == [10, 30]
+        assert pilot.labels.tolist() == [0.0, 1.0]
+
+    def test_ranks_at(self):
+        pilot = make_pilot()
+        assert pilot.ranks_at(np.array([0, 15, 100])).tolist() == [0, 1, 6]
+
+    def test_stratum_statistics(self):
+        pilot = make_pilot()
+        sizes, counts, variances = pilot.stratum_statistics(np.array([0, 50, 100]))
+        assert sizes.tolist() == [50, 50]
+        assert counts.tolist() == [3, 3]
+        # First stratum pilots: labels 0,0,1; second: 1,0,1.
+        assert variances[0] == pytest.approx(1 / 2 * (1 - 1 / 3))
+        assert variances[1] == pytest.approx(2 / 2 * (1 - 2 / 3))
+
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(ValueError):
+            PilotSample(np.array([5, 5]), np.array([0.0, 1.0]), 10)
+
+    def test_out_of_range_positions_rejected(self):
+        with pytest.raises(ValueError):
+            PilotSample(np.array([5, 12]), np.array([0.0, 1.0]), 10)
+
+    def test_empty_pilot_rejected(self):
+        with pytest.raises(ValueError):
+            PilotSample(np.array([], dtype=int), np.array([]), 10)
+
+
+class TestCutsValidation:
+    def test_valid_cuts_pass(self):
+        validate_cuts(np.array([0, 10, 20]), 20)
+
+    def test_wrong_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            validate_cuts(np.array([1, 10, 20]), 20)
+        with pytest.raises(ValueError):
+            validate_cuts(np.array([0, 10, 19]), 20)
+
+    def test_empty_stratum_rejected(self):
+        with pytest.raises(ValueError):
+            validate_cuts(np.array([0, 10, 10, 20]), 20)
+
+
+class TestVarianceEstimates:
+    def test_unbiased_bernoulli_estimate(self):
+        variances = bernoulli_variance_estimate(np.array([2.0]), np.array([4.0]))
+        # labels 1,1,0,0 -> sample variance = 1/3.
+        assert variances[0] == pytest.approx(1 / 3)
+
+    def test_small_counts_give_zero(self):
+        assert bernoulli_variance_estimate(np.array([1.0]), np.array([1.0]))[0] == 0.0
+
+    def test_smoothed_std_never_zero(self):
+        stds = smoothed_bernoulli_std(np.array([0.0, 5.0]), np.array([5.0, 5.0]))
+        assert np.all(stds > 0.0)
+
+    def test_smoothed_std_converges_to_unsmoothed(self):
+        positives = np.array([300.0])
+        counts = np.array([1000.0])
+        smoothed = smoothed_bernoulli_std(positives, counts)[0]
+        assert smoothed == pytest.approx(np.sqrt(0.3 * 0.7), rel=0.01)
+
+
+class TestObjectives:
+    def test_neyman_never_exceeds_general_for_any_allocation(self):
+        sizes = np.array([40.0, 60.0])
+        variances = np.array([0.1, 0.2])
+        neyman = neyman_objective(sizes, variances, 20)
+        for allocation in ([10, 10], [5, 15], [15, 5]):
+            assert neyman <= general_objective(sizes, variances, np.array(allocation)) + 1e-9
+
+    def test_proportional_objective_formula(self):
+        sizes = np.array([50.0, 50.0])
+        variances = np.array([0.25, 0.0])
+        value = proportional_objective(sizes, variances, 10, 100)
+        assert value == pytest.approx((100 - 10) / 10 * 12.5)
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            neyman_objective(np.array([10.0]), np.array([0.1]), 0)
+        with pytest.raises(ValueError):
+            proportional_objective(np.array([10.0]), np.array([0.1]), 0, 100)
+
+    def test_general_objective_requires_positive_allocation(self):
+        with pytest.raises(ValueError):
+            general_objective(np.array([10.0]), np.array([0.1]), np.array([0]))
+
+    def test_homogeneous_strata_give_zero_variance_objective(self):
+        sizes = np.array([30.0, 70.0])
+        variances = np.zeros(2)
+        assert neyman_objective(sizes, variances, 10) == 0.0
+        assert proportional_objective(sizes, variances, 10, 100) == 0.0
+
+
+class TestDesignFromCuts:
+    def test_design_fields(self):
+        pilot = make_pilot()
+        design = design_from_cuts(pilot, np.array([0, 50, 100]), 10, "neyman", "test")
+        assert design.num_strata == 2
+        assert design.stratum_sizes.tolist() == [50, 50]
+        assert design.algorithm == "test"
+        assert design.stratum_slices() == [(0, 50), (50, 100)]
+
+    def test_unknown_allocation_rejected(self):
+        pilot = make_pilot()
+        with pytest.raises(ValueError):
+            design_from_cuts(pilot, np.array([0, 100]), 10, "bogus", "test")
+
+
+class TestCandidateBoundaries:
+    def test_includes_endpoints_and_pilot_cuts(self):
+        pilot = make_pilot()
+        cuts = candidate_boundary_cuts(pilot)
+        assert 0 in cuts and 100 in cuts
+        for position in pilot.positions:
+            assert position + 1 in cuts
+
+    def test_all_within_range_and_sorted(self):
+        pilot = make_pilot(population=64, positions=(3, 17, 40), labels=(1, 0, 1))
+        cuts = candidate_boundary_cuts(pilot)
+        assert np.all(np.diff(cuts) > 0)
+        assert cuts[0] >= 0 and cuts[-1] <= 64
+
+    def test_max_candidates_cap(self):
+        rng = np.random.default_rng(0)
+        positions = np.sort(rng.choice(5000, size=200, replace=False))
+        pilot = PilotSample(positions, rng.integers(0, 2, 200).astype(float), 5000)
+        capped = candidate_boundary_cuts(pilot, max_candidates=300)
+        assert capped.size <= 300 + 2
+
+    def test_default_minimum_stratum_size(self):
+        assert default_minimum_stratum_size(1000, 50, 4) >= 1
+        assert default_minimum_stratum_size(1000, 50, 4) <= 51
