@@ -3,6 +3,9 @@
 from conftest import run_once
 
 from repro.experiments import run_optimizer_ablation
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.benchmark]
 
 
 def test_ablation_optimizers(benchmark, report):

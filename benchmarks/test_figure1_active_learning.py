@@ -3,6 +3,9 @@
 from conftest import run_once
 
 from repro.experiments import SMALL_SCALE, run_figure1_active_learning
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.benchmark]
 
 
 def test_figure1_active_learning(benchmark, report):

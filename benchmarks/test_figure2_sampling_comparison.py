@@ -4,6 +4,9 @@ import numpy as np
 from conftest import run_once
 
 from repro.experiments import SMALL_SCALE, run_figure2_sampling_comparison
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.benchmark]
 
 
 def test_figure2_sampling_comparison(benchmark, report):

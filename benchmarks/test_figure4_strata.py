@@ -6,6 +6,9 @@ import numpy as np
 from conftest import run_once
 
 from repro.experiments import SMALL_SCALE, run_figure4_num_strata, run_figure4_strata_layout
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.benchmark]
 
 # Figure 4 runs two sub-experiments; keep the trial count modest so the
 # combined benchmark stays laptop-friendly.

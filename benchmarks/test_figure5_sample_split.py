@@ -6,6 +6,9 @@ import numpy as np
 from conftest import run_once
 
 from repro.experiments import SMALL_SCALE, run_figure5_sample_split
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.benchmark]
 
 FIGURE5_SCALE = dataclasses.replace(SMALL_SCALE, num_trials=7)
 

@@ -2,10 +2,12 @@
 
 import dataclasses
 
-import numpy as np
 from conftest import run_once
 
 from repro.experiments import SMALL_SCALE, run_figure7_ql_classifiers
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.benchmark]
 
 FIGURE7_SCALE = dataclasses.replace(SMALL_SCALE, num_trials=5)
 

@@ -1,0 +1,82 @@
+"""Benchmark: parallel trial engine speedup and equivalence at scale.
+
+Runs a figure2-style method sweep serially and with 4 workers on the same
+workload and master seed.  Equivalence (byte-identical fingerprints) is
+asserted unconditionally; the >=2x wall-clock speedup assertion only runs on
+machines with at least 4 usable cores, because a process pool cannot beat
+serial execution on a single-CPU box.
+"""
+
+import time
+
+from repro.experiments import SMALL_SCALE
+from repro.parallel import (
+    MethodSpec,
+    ParallelTrialRunner,
+    available_workers,
+    clear_workload_cache,
+    estimates_fingerprint,
+)
+from repro.workloads.queries import build_workload
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.benchmark]
+
+METHODS = ("srs", "ssp", "lws", "lss")
+NUM_TRIALS = 16
+
+
+def _sweep(workload, budget: int, workers: int) -> tuple[dict[str, str], float]:
+    """Run the method sweep; return per-method fingerprints and seconds."""
+    clear_workload_cache()
+    fingerprints: dict[str, str] = {}
+    started = time.perf_counter()
+    for method in METHODS:
+        runner = ParallelTrialRunner(
+            workload_spec=workload.spec,
+            num_trials=NUM_TRIALS,
+            seed=SMALL_SCALE.seed,
+            workers=workers,
+            workload=workload,
+        )
+        runner.run(method, MethodSpec(method), budget)
+        fingerprints[method] = estimates_fingerprint(runner.estimates[method])
+    return fingerprints, time.perf_counter() - started
+
+
+def test_parallel_sweep_equivalence_and_speedup(benchmark, report):
+    workload = build_workload("sports", level="S", num_rows=SMALL_SCALE.sports_rows)
+    budget = workload.sample_size(0.03)
+    workload.query.export_label_cache(compute=True)  # warm once for both runs
+
+    serial_fingerprints, serial_seconds = _sweep(workload, budget, workers=1)
+    (parallel_fingerprints, parallel_seconds) = benchmark.pedantic(
+        _sweep, args=(workload, budget, 4), rounds=1, iterations=1
+    )
+
+    assert parallel_fingerprints == serial_fingerprints, (
+        "parallel sweep is not byte-identical to serial"
+    )
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    report(
+        "Parallel engine — figure2-style sweep, serial vs 4 workers",
+        [
+            {
+                "methods": "+".join(METHODS),
+                "trials_per_method": NUM_TRIALS,
+                "serial_s": round(serial_seconds, 3),
+                "workers4_s": round(parallel_seconds, 3),
+                "speedup": round(speedup, 2),
+                "usable_cores": available_workers(),
+            }
+        ],
+    )
+
+    if available_workers() >= 4:
+        assert speedup >= 2.0, f"expected >=2x speedup on >=4 cores, got {speedup:.2f}x"
+    else:
+        pytest.skip(
+            f"speedup assertion needs >=4 usable cores, found {available_workers()} "
+            f"(measured {speedup:.2f}x)"
+        )

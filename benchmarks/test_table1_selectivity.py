@@ -3,6 +3,9 @@
 from conftest import run_once
 
 from repro.experiments import SMALL_SCALE, run_table1_selectivity
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.benchmark]
 
 
 def test_table1_selectivity(benchmark, report):

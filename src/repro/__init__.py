@@ -34,7 +34,7 @@ from repro.query.counting import CountingQuery
 from repro.sampling.srs import SimpleRandomSampling
 from repro.sampling.stratified import StratifiedSampling
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "CountEstimate",

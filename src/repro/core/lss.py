@@ -33,6 +33,7 @@ from repro.core.stratification import (
 from repro.learning.base import Classifier
 from repro.query.counting import CountingQuery
 from repro.sampling.rng import SeedLike, resolve_rng, sample_without_replacement
+from repro.sampling.srs import SimpleRandomSampling
 from repro.sampling.stratified import StrataPartition, StratifiedSampling
 
 #: Optimizers selectable through the ``optimizer`` constructor argument.
@@ -201,6 +202,64 @@ class LearnedStratifiedSampling:
                 pilot, self.num_strata, second_stage_samples, self.allocation
             )
 
+    def _pilot_only_estimate(
+        self,
+        query: CountingQuery,
+        learning,
+        ordered_objects: np.ndarray,
+        sampling_budget: int,
+        rng: np.random.Generator,
+        evaluations_before: int,
+        total_started: float,
+        predicate_seconds_before: float,
+    ) -> CountEstimate:
+        """Deterministic fallback when the two-stage design is infeasible.
+
+        At tiny budgets (relative to ``num_strata``) there is no way to pay
+        for both a pilot and a per-stratum second stage, so the whole
+        sampling budget becomes one simple random sample over the unlabelled
+        remainder — an unbiased estimate with a valid interval, combined
+        with the exactly-known learning-phase positives as usual.  The
+        details carry the same ``timings`` breakdown as the two-stage path
+        so overhead consumers keep working on degenerate configurations.
+        """
+        population = ordered_objects.size
+        take = int(min(sampling_budget, population))
+        overhead_started = time.perf_counter()
+        positions = sample_without_replacement(population, take, seed=rng)
+        sampling_overhead_seconds = time.perf_counter() - overhead_started
+        labels = query.evaluate(ordered_objects[positions])
+        overhead_started = time.perf_counter()
+        srs = SimpleRandomSampling(confidence=self.confidence).estimate_from_labels(
+            labels, population
+        )
+        sampling_overhead_seconds += time.perf_counter() - overhead_started
+        timings = LSSPhaseTimings(
+            learning_seconds=learning.training_seconds,
+            design_seconds=0.0,
+            sampling_overhead_seconds=sampling_overhead_seconds,
+            predicate_seconds=query.evaluation_seconds - predicate_seconds_before,
+            total_seconds=time.perf_counter() - total_started,
+        )
+        return CountEstimate(
+            count=srs.count + learning.positive_count,
+            proportion=srs.proportion,
+            population_size=population,
+            predicate_evaluations=query.evaluations - evaluations_before,
+            method=self.method_name,
+            interval=srs.interval,
+            variance=srs.variance,
+            count_offset=learning.positive_count,
+            details={
+                "degenerate": "pilot-only",
+                "timings": timings,
+                "learning_count": learning.labelled_count,
+                "learning_positives": learning.positive_count,
+                "pilot_size": take,
+                "num_strata": 1,
+            },
+        )
+
     # -- public API -----------------------------------------------------------
     def estimate(
         self,
@@ -249,13 +308,31 @@ class LearnedStratifiedSampling:
         sorted_scores = scores[order]
         sampling_overhead_seconds = time.perf_counter() - overhead_started
 
-        # Stage I: pilot sample over the ordered population.
+        # Stage I: pilot sample over the ordered population.  The pilot must
+        # keep enough budget in stage II to give every stratum at least one
+        # fresh sample; when the sampling budget cannot support both a
+        # two-object pilot and a full second stage, the two-stage design is
+        # infeasible and the estimator degrades to pilot-only estimation
+        # (a plain SRS over the ordered remainder) instead of silently
+        # producing a non-positive second-stage budget.
+        largest_pilot = min(sampling_budget - self.num_strata, remaining.size)
+        if largest_pilot < 2:
+            return self._pilot_only_estimate(
+                query,
+                learning,
+                ordered_objects,
+                sampling_budget,
+                rng,
+                evaluations_before,
+                total_started,
+                predicate_seconds_before,
+            )
         pilot_size = int(round(self.pilot_fraction * sampling_budget))
-        pilot_size = max(pilot_size, min(self.num_strata * self.min_pilot_per_stratum, sampling_budget - 1))
-        # Keep enough budget in stage II to give every stratum at least one
-        # fresh sample.
-        pilot_size = min(pilot_size, sampling_budget - self.num_strata, remaining.size)
-        pilot_size = max(pilot_size, 2)
+        pilot_size = max(
+            pilot_size,
+            min(self.num_strata * self.min_pilot_per_stratum, sampling_budget - 1),
+        )
+        pilot_size = int(np.clip(pilot_size, 2, largest_pilot))
         second_stage_samples = sampling_budget - pilot_size
 
         pilot_positions = np.sort(

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro.core.estimate import CountEstimate
 from repro.core.learning_phase import run_learning_phase

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-import numpy as np
 
 from repro.core.estimate import CountEstimate
 from repro.core.lss import LearnedStratifiedSampling

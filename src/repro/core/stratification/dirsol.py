@@ -22,7 +22,9 @@ from repro.core.stratification.design import (
 )
 
 
-def _clip_polygon_below_line(vertices: list[tuple[float, float]], limit: float) -> list[tuple[float, float]]:
+def _clip_polygon_below_line(
+    vertices: list[tuple[float, float]], limit: float
+) -> list[tuple[float, float]]:
     """Clip a convex polygon to the half-plane ``x + y <= limit``."""
     if not vertices:
         return []
@@ -110,7 +112,10 @@ def dirsol_design(
                 np.array([positives_first]), np.array([count_first])
             )[0]
         )
-        for first_in_third in range(last_in_first + min_pilot_per_stratum + 1, m - min_pilot_per_stratum + 1):
+        third_range = range(
+            last_in_first + min_pilot_per_stratum + 1, m - min_pilot_per_stratum + 1
+        )
+        for first_in_third in third_range:
             count_third = m - first_in_third
             count_second = first_in_third - last_in_first - 1
             if count_second < min_pilot_per_stratum or count_third < min_pilot_per_stratum:
@@ -158,7 +163,9 @@ def dirsol_design(
             candidates: list[tuple[float, float]] = []
             for index in range(len(polygon)):
                 candidates.extend(
-                    _edge_candidates(objective, polygon[index], polygon[(index + 1) % len(polygon)])
+                    _edge_candidates(
+                        objective, polygon[index], polygon[(index + 1) % len(polygon)]
+                    )
                 )
 
             for n1_real, n3_real in candidates:

@@ -59,7 +59,9 @@ def _level_fraction(level: str | float) -> float:
     return fraction
 
 
-def _calibrate_threshold(counts: np.ndarray, target_fraction: float, strict: bool) -> CalibrationResult:
+def _calibrate_threshold(
+    counts: np.ndarray, target_fraction: float, strict: bool
+) -> CalibrationResult:
     """Choose the integer threshold whose selectivity is closest to the target.
 
     ``counts`` holds the per-object statistic (dominator count or neighbour

@@ -13,6 +13,7 @@ Each experiment prints the same rows the corresponding benchmark asserts on;
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import time
 
 from repro.experiments import (
@@ -63,7 +64,7 @@ EXPERIMENTS = {
     "figure8": ("Figure 8 — QLCC vs QLAC", lambda scale: run_figure8_ql_methods(scale)),
     "ablation": (
         "Ablation — stratification optimizers",
-        lambda scale: run_optimizer_ablation(),
+        lambda scale: run_optimizer_ablation(workers=scale.workers),
     ),
 }
 
@@ -81,8 +82,21 @@ def main(argv: list[str] | None = None) -> int:
         default="small",
         help="experiment scale preset (default: small)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "trial-loop process count: 1 = serial (default), 0 = all available "
+            "CPUs; results are byte-identical for any value"
+        ),
+    )
     arguments = parser.parse_args(argv)
+    if arguments.workers < 0:
+        parser.error(f"--workers must be non-negative, got {arguments.workers}")
     scale = SCALES[arguments.scale]
+    if arguments.workers != 1:
+        scale = dataclasses.replace(scale, workers=arguments.workers)
 
     chosen = sorted(EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
     for name in chosen:

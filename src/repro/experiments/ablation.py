@@ -24,7 +24,28 @@ from repro.core.stratification import (
     fixed_width_design,
     logbdr_design,
 )
+from repro.parallel.engine import ExecutionEngine
 from repro.sampling.rng import resolve_rng
+
+
+def _run_competitor(args):
+    """Build and time one optimizer's design (picklable engine task)."""
+    name, pilot, sorted_scores, num_strata, second_stage_samples, constraints = args
+    builders = {
+        "dirsol": lambda: dirsol_design(pilot, second_stage_samples, **constraints),
+        "logbdr": lambda: logbdr_design(pilot, num_strata, second_stage_samples, **constraints),
+        "dynpgm": lambda: dynpgm_design(pilot, num_strata, second_stage_samples, **constraints),
+        "dynpgm-prop": lambda: dynpgm_proportional_design(
+            pilot, num_strata, second_stage_samples, **constraints
+        ),
+        "fixed-width": lambda: fixed_width_design(
+            pilot, sorted_scores, num_strata, second_stage_samples
+        ),
+        "fixed-height": lambda: fixed_height_design(pilot, num_strata, second_stage_samples),
+    }
+    started = time.perf_counter()
+    design = builders[name]()
+    return name, design, time.perf_counter() - started
 
 
 def synthetic_pilot(
@@ -43,7 +64,8 @@ def synthetic_pilot(
     rng = resolve_rng(seed)
     positions = np.arange(population_size)
     transition = (1.0 - positive_fraction) * population_size
-    probability = 1.0 / (1.0 + np.exp(-(positions - transition) / (noise * population_size + 1e-9)))
+    spread = noise * population_size + 1e-9
+    probability = 1.0 / (1.0 + np.exp(-(positions - transition) / spread))
     labels_all = (rng.uniform(size=population_size) < probability).astype(np.float64)
     pilot_positions = np.sort(rng.choice(population_size, size=pilot_size, replace=False))
     pilot = PilotSample(pilot_positions, labels_all[pilot_positions], population_size)
@@ -57,8 +79,14 @@ def run_optimizer_ablation(
     second_stage_samples: int = 60,
     num_strata: int = 3,
     seed: int = 0,
+    workers: int | None = 1,
 ) -> list[dict[str, object]]:
-    """Compare every stratification optimizer on the same pilot sample."""
+    """Compare every stratification optimizer on the same pilot sample.
+
+    The brute-force reference runs first (its optimum normalises every
+    row); the competitors then fan out across ``workers`` processes, each
+    timing its own design run.
+    """
     pilot, sorted_scores = synthetic_pilot(
         population_size=population_size, pilot_size=pilot_size, seed=seed
     )
@@ -69,40 +97,28 @@ def run_optimizer_ablation(
         pilot, num_strata, second_stage_samples, allocation="neyman", **constraints
     )
     reference_seconds = time.perf_counter() - reference_started
+
+    engine = ExecutionEngine(workers=workers, chunk_size=1)
+    names = ("dirsol", "logbdr", "dynpgm", "dynpgm-prop", "fixed-width", "fixed-height")
+    timed = engine.map(
+        _run_competitor,
+        [
+            (name, pilot, sorted_scores, num_strata, second_stage_samples, constraints)
+            for name in names
+        ],
+    )
+    designs = [("brute-force", reference, reference_seconds)] + timed
+
     optimum = max(reference.objective_value, 1e-9)
-
-    competitors = {
-        "brute-force": lambda: reference,
-        "dirsol": lambda: dirsol_design(pilot, second_stage_samples, **constraints),
-        "logbdr": lambda: logbdr_design(pilot, num_strata, second_stage_samples, **constraints),
-        "dynpgm": lambda: dynpgm_design(pilot, num_strata, second_stage_samples, **constraints),
-        "dynpgm-prop": lambda: dynpgm_proportional_design(
-            pilot, num_strata, second_stage_samples, **constraints
-        ),
-        "fixed-width": lambda: fixed_width_design(
-            pilot, sorted_scores, num_strata, second_stage_samples
-        ),
-        "fixed-height": lambda: fixed_height_design(pilot, num_strata, second_stage_samples),
-    }
-
-    rows: list[dict[str, object]] = []
-    for name, build in competitors.items():
-        started = time.perf_counter()
-        design = build()
-        elapsed = time.perf_counter() - started
-        if name == "brute-force":
-            # The reference design was built (and timed) above; report that
-            # cost rather than the cost of returning the cached object.
-            elapsed = reference_seconds
-        rows.append(
-            {
-                "algorithm": name,
-                "allocation": design.allocation,
-                "num_strata": design.num_strata,
-                "objective": round(design.objective_value, 4),
-                "vs_optimum": round(design.objective_value / optimum, 3),
-                "seconds": round(elapsed, 4),
-                "cuts": list(map(int, design.cuts)),
-            }
-        )
-    return rows
+    return [
+        {
+            "algorithm": name,
+            "allocation": design.allocation,
+            "num_strata": design.num_strata,
+            "objective": round(design.objective_value, 4),
+            "vs_optimum": round(design.objective_value / optimum, 3),
+            "seconds": round(elapsed, 4),
+            "cuts": list(map(int, design.cuts)),
+        }
+        for name, design, elapsed in designs
+    ]

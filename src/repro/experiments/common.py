@@ -1,30 +1,32 @@
-"""Helpers shared by the per-figure experiment drivers."""
+"""Helpers shared by the per-figure experiment drivers.
+
+The drivers describe each estimator configuration as a pickle-safe
+:class:`~repro.parallel.methods.MethodSpec` and hand it to
+:func:`run_distribution`, which routes the trial loop through the serial
+:class:`~repro.workloads.runner.TrialRunner` or — when ``workers > 1`` —
+through the deterministic parallel engine.  Results are byte-identical for
+any worker count.
+"""
 
 from __future__ import annotations
 
 from typing import Callable
 
-import numpy as np
-
 from repro.core.estimate import CountEstimate
-from repro.core.lss import LearnedStratifiedSampling
-from repro.core.lws import LearnedWeightedSampling
 from repro.experiments.config import ExperimentScale
-from repro.learning.base import Classifier
-from repro.learning.dummy import RandomScoreClassifier
-from repro.learning.knn import KNeighborsClassifier
-from repro.learning.neural import NeuralNetworkClassifier
-from repro.quantification.adjusted_count import AdjustedCount
-from repro.quantification.classify_count import ClassifyAndCount
-from repro.sampling.srs import SimpleRandomSampling
-from repro.sampling.stratified import (
-    StratifiedSampling,
-    TwoStageNeymanSampling,
-    attribute_grid_strata,
-)
+from repro.parallel.methods import MethodSpec, classifier_factory
 from repro.workloads.metrics import EstimateDistribution
 from repro.workloads.queries import Workload, build_workload
 from repro.workloads.runner import TrialRunner
+
+__all__ = [
+    "MethodSpec",
+    "build_scaled_workload",
+    "classifier_factory",
+    "distribution_row",
+    "make_trial_function",
+    "run_distribution",
+]
 
 
 def build_scaled_workload(
@@ -35,24 +37,6 @@ def build_scaled_workload(
     return build_workload(dataset, level=level, num_rows=num_rows, cache_labels=cache_labels)
 
 
-def classifier_factory(name: str, seed: int | None = None) -> Classifier | None:
-    """The classifiers of Figures 6 and 7, by name.
-
-    ``"rf"`` returns ``None`` so the estimators use their default random
-    forest (with a per-trial seed), matching how the other classifiers are
-    re-instantiated per trial.
-    """
-    if name == "rf":
-        return None
-    if name == "knn":
-        return KNeighborsClassifier(n_neighbors=15)
-    if name == "nn":
-        return NeuralNetworkClassifier(hidden_layers=(5, 2), seed=seed)
-    if name == "random":
-        return RandomScoreClassifier(seed=seed)
-    raise ValueError(f"unknown classifier {name!r}; choose rf, knn, nn or random")
-
-
 def make_trial_function(
     method: str,
     num_strata: int = 4,
@@ -60,74 +44,48 @@ def make_trial_function(
     learning_fraction: float = 0.25,
     optimizer: str = "dynpgm",
     active_learning_rounds: int = 0,
-) -> Callable[[Workload, object], CountEstimate]:
-    """Build a ``run_trial(workload, rng)`` callable for :class:`TrialRunner`.
+) -> Callable[[Workload, object, int], CountEstimate]:
+    """Build a ``run_trial(workload, rng, budget)`` callable.
 
-    The returned callable instantiates a fresh estimator per trial (so
-    per-trial classifier seeds stay independent) and spends
-    ``workload.sample_size(fraction)`` predicate evaluations, where the
-    fraction is bound later via :func:`run_method_grid`.
+    Kept as a thin wrapper over :class:`MethodSpec` for callers that want a
+    plain closure; the drivers themselves pass specs so the trials can also
+    run in worker processes.
     """
-
-    def run_trial(workload: Workload, rng, budget: int) -> CountEstimate:
-        classifier = classifier_factory(classifier_name, seed=int(rng.integers(2**31 - 1)))
-        if method == "srs":
-            return SimpleRandomSampling().estimate(
-                workload.query.object_indices(), workload.query.evaluate, budget, seed=rng
-            )
-        if method == "ssp":
-            partition = attribute_grid_strata(
-                workload.query.features(), max(int(round(np.sqrt(num_strata))), 1)
-            )
-            return StratifiedSampling().estimate(
-                partition, workload.query.evaluate, budget, seed=rng
-            )
-        if method == "ssn":
-            partition = attribute_grid_strata(
-                workload.query.features(), max(int(round(np.sqrt(num_strata))), 1)
-            )
-            return TwoStageNeymanSampling().estimate(
-                partition, workload.query.evaluate, budget, seed=rng
-            )
-        if method == "lws":
-            return LearnedWeightedSampling(
-                classifier=classifier,
-                learning_fraction=learning_fraction,
-                active_learning_rounds=active_learning_rounds,
-            ).estimate(workload.query, budget, seed=rng)
-        if method == "lss":
-            return LearnedStratifiedSampling(
-                classifier=classifier,
-                num_strata=num_strata,
-                learning_fraction=learning_fraction,
-                optimizer=optimizer,
-                active_learning_rounds=active_learning_rounds,
-            ).estimate(workload.query, budget, seed=rng)
-        if method == "qlcc":
-            return ClassifyAndCount(
-                classifier=classifier, active_learning_rounds=active_learning_rounds
-            ).estimate(workload.query, budget, seed=rng)
-        if method == "qlac":
-            return AdjustedCount(
-                classifier=classifier, active_learning_rounds=active_learning_rounds
-            ).estimate(workload.query, budget, seed=rng)
-        raise ValueError(f"unknown method {method!r}")
-
-    return run_trial
+    return MethodSpec(
+        method=method,
+        num_strata=num_strata,
+        classifier_name=classifier_name,
+        learning_fraction=learning_fraction,
+        optimizer=optimizer,
+        active_learning_rounds=active_learning_rounds,
+    ).build_trial_function()
 
 
 def run_distribution(
     workload: Workload,
     method_label: str,
-    trial_function: Callable[[Workload, object, int], CountEstimate],
+    trial: MethodSpec | Callable[[Workload, object, int], CountEstimate],
     fraction: float,
     num_trials: int,
     seed: int,
+    workers: int | None = 1,
 ) -> EstimateDistribution:
-    """Run repeated trials of one configuration and summarise them."""
+    """Run repeated trials of one configuration and summarise them.
+
+    ``trial`` is either a :class:`MethodSpec` (parallelisable) or a legacy
+    ``run_trial(workload, rng, budget)`` callable (always serial).  With
+    ``workers > 1`` a spec-described method is sharded across a process
+    pool; the estimates — and therefore the summary — are byte-identical to
+    the serial run with the same seed.
+    """
     budget = workload.sample_size(fraction)
+    if isinstance(trial, MethodSpec):
+        runner = TrialRunner(
+            workload=workload, num_trials=num_trials, seed=seed, workers=workers
+        )
+        return runner.run_method(method_label, trial, budget)
     runner = TrialRunner(workload=workload, num_trials=num_trials, seed=seed)
-    return runner.run(method_label, lambda wl, rng: trial_function(wl, rng, budget))
+    return runner.run(method_label, lambda wl, rng: trial(wl, rng, budget))
 
 
 def distribution_row(

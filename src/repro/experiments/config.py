@@ -8,7 +8,7 @@ default for the benchmark harness), or at a tiny scale for smoke tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -23,6 +23,10 @@ class ExperimentScale:
             paper uses 1 % and 2 %).
         levels: selectivity levels to evaluate (subset of Table 1's XS…XXL).
         seed: master seed for the whole experiment.
+        workers: process count for the trial loops (``1`` = serial, the
+            default; ``None``/``0`` = all available CPUs).  Parallel runs
+            are byte-identical to serial ones for the same seed, so this is
+            purely a wall-clock knob.
     """
 
     sports_rows: int = 12_000
@@ -32,6 +36,7 @@ class ExperimentScale:
     levels: tuple[str, ...] = ("S", "L")
     seed: int = 20190621
     datasets: tuple[str, ...] = ("neighbors", "sports")
+    workers: int | None = 1
 
 
 #: Smoke-test scale: a few seconds per experiment.

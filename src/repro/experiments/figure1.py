@@ -16,6 +16,7 @@ from repro.experiments.config import SMALL_SCALE, ExperimentScale
 from repro.learning.active import augment_training_set
 from repro.learning.knn import KNeighborsClassifier
 from repro.learning.metrics import ClassificationReport
+from repro.parallel.batch import predict_scores_chunked
 from repro.sampling.rng import resolve_rng, sample_without_replacement
 
 
@@ -37,12 +38,17 @@ def run_figure1_active_learning(
     rounds: int = 2,
     dataset: str = "neighbors",
     level: str = "S",
+    workers: int | None = None,
 ) -> list[dict[str, object]]:
     """Track classifier quality over active-learning rounds (Figure 1).
 
     Returns one row per round (round 0 = before augmentation) with the
-    training-set size, accuracy, AUC and the mean score uncertainty.
+    training-set size, accuracy, AUC and the mean score uncertainty.  The
+    augmentation rounds are inherently sequential; ``workers`` fans out the
+    full-population scoring pass of each round's quality report, which is
+    exact under chunking.
     """
+    workers = scale.workers if workers is None else workers
     workload = build_scaled_workload(dataset, level, scale)
     query = workload.query
     rng = resolve_rng(scale.seed)
@@ -53,14 +59,14 @@ def run_figure1_active_learning(
     batch_size = max(int(round(batch_fraction * query.num_objects)), 5)
 
     labelled = sample_without_replacement(query.num_objects, initial_size, seed=rng)
-    labels = query.evaluate(labelled)
+    labels = query.evaluate_batch(labelled)
     classifier = KNeighborsClassifier(n_neighbors=15)
     classifier.fit(features[labelled], labels)
 
     rows: list[dict[str, object]] = []
 
     def record(round_index: int, model, labelled_count: int) -> None:
-        scores = model.predict_scores(features)
+        scores = predict_scores_chunked(model, features, workers=workers)
         report = ClassificationReport.from_scores(true_labels, scores)
         rows.append(
             {

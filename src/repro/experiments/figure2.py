@@ -10,9 +10,9 @@ LSS is the most robust overall.
 from __future__ import annotations
 
 from repro.experiments.common import (
+    MethodSpec,
     build_scaled_workload,
     distribution_row,
-    make_trial_function,
     run_distribution,
 )
 from repro.experiments.config import SMALL_SCALE, ExperimentScale
@@ -23,17 +23,28 @@ FIGURE2_METHODS = ("srs", "ssp", "lws", "lss")
 def run_figure2_sampling_comparison(
     scale: ExperimentScale = SMALL_SCALE,
     methods: tuple[str, ...] = FIGURE2_METHODS,
+    workers: int | None = None,
 ) -> list[dict[str, object]]:
-    """Regenerate Figure 2 at the requested scale."""
+    """Regenerate Figure 2 at the requested scale.
+
+    ``workers`` overrides ``scale.workers``; trials fan out across processes
+    with byte-identical results.
+    """
+    workers = scale.workers if workers is None else workers
     rows: list[dict[str, object]] = []
     for dataset in scale.datasets:
         for level in scale.levels:
             workload = build_scaled_workload(dataset, level, scale)
             for fraction in scale.sample_fractions:
                 for method in methods:
-                    trial = make_trial_function(method)
                     distribution = run_distribution(
-                        workload, method, trial, fraction, scale.num_trials, scale.seed
+                        workload,
+                        method,
+                        MethodSpec(method),
+                        fraction,
+                        scale.num_trials,
+                        scale.seed,
+                        workers=workers,
                     )
                     rows.append(
                         distribution_row(dataset, level, fraction, distribution)

@@ -14,9 +14,9 @@ Two sub-experiments:
 from __future__ import annotations
 
 from repro.experiments.common import (
+    MethodSpec,
     build_scaled_workload,
     distribution_row,
-    make_trial_function,
     run_distribution,
 )
 from repro.experiments.config import SMALL_SCALE, ExperimentScale
@@ -27,17 +27,25 @@ LAYOUTS = (("fixed_width", "fixed-width"), ("fixed_height", "fixed-height"), ("d
 def run_figure4_strata_layout(
     scale: ExperimentScale = SMALL_SCALE,
     num_strata: int = 4,
+    workers: int | None = None,
 ) -> list[dict[str, object]]:
     """Compare LSS strata layout strategies (Figure 4, layout facet)."""
+    workers = scale.workers if workers is None else workers
     rows: list[dict[str, object]] = []
     for dataset in scale.datasets:
         for level in scale.levels:
             workload = build_scaled_workload(dataset, level, scale)
             for fraction in scale.sample_fractions:
                 for optimizer, label in LAYOUTS:
-                    trial = make_trial_function("lss", num_strata=num_strata, optimizer=optimizer)
+                    spec = MethodSpec("lss", num_strata=num_strata, optimizer=optimizer)
                     distribution = run_distribution(
-                        workload, f"lss-{label}", trial, fraction, scale.num_trials, scale.seed
+                        workload,
+                        f"lss-{label}",
+                        spec,
+                        fraction,
+                        scale.num_trials,
+                        scale.seed,
+                        workers=workers,
                     )
                     rows.append(
                         distribution_row(dataset, level, fraction, distribution, layout=label)
@@ -49,8 +57,10 @@ def run_figure4_num_strata(
     scale: ExperimentScale = SMALL_SCALE,
     strata_counts: tuple[int, ...] = (4, 9, 25),
     methods: tuple[str, ...] = ("lss", "ssp"),
+    workers: int | None = None,
 ) -> list[dict[str, object]]:
     """Compare LSS and SSP across stratum counts (Figure 4, strata facet)."""
+    workers = scale.workers if workers is None else workers
     rows: list[dict[str, object]] = []
     for dataset in scale.datasets:
         for level in scale.levels:
@@ -58,14 +68,15 @@ def run_figure4_num_strata(
             for fraction in scale.sample_fractions:
                 for num_strata in strata_counts:
                     for method in methods:
-                        trial = make_trial_function(method, num_strata=num_strata)
+                        spec = MethodSpec(method, num_strata=num_strata)
                         distribution = run_distribution(
                             workload,
                             f"{method}-H{num_strata}",
-                            trial,
+                            spec,
                             fraction,
                             scale.num_trials,
                             scale.seed,
+                            workers=workers,
                         )
                         rows.append(
                             distribution_row(

@@ -9,9 +9,9 @@ starves the sampling phase.
 from __future__ import annotations
 
 from repro.experiments.common import (
+    MethodSpec,
     build_scaled_workload,
     distribution_row,
-    make_trial_function,
     run_distribution,
 )
 from repro.experiments.config import SMALL_SCALE, ExperimentScale
@@ -23,24 +23,27 @@ def run_figure5_sample_split(
     scale: ExperimentScale = SMALL_SCALE,
     splits: tuple[float, ...] = SPLITS,
     num_strata: int = 4,
+    workers: int | None = None,
 ) -> list[dict[str, object]]:
     """Regenerate Figure 5 at the requested scale."""
+    workers = scale.workers if workers is None else workers
     rows: list[dict[str, object]] = []
     for dataset in scale.datasets:
         for level in scale.levels:
             workload = build_scaled_workload(dataset, level, scale)
             for fraction in scale.sample_fractions:
                 for split in splits:
-                    trial = make_trial_function(
+                    spec = MethodSpec(
                         "lss", num_strata=num_strata, learning_fraction=split
                     )
                     distribution = run_distribution(
                         workload,
                         f"lss-split{int(split * 100)}",
-                        trial,
+                        spec,
                         fraction,
                         scale.num_trials,
                         scale.seed,
+                        workers=workers,
                     )
                     rows.append(
                         distribution_row(

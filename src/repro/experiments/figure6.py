@@ -11,9 +11,9 @@ blow-up), because LSS uses only the score ordering.
 from __future__ import annotations
 
 from repro.experiments.common import (
+    MethodSpec,
     build_scaled_workload,
     distribution_row,
-    make_trial_function,
     run_distribution,
 )
 from repro.experiments.config import SMALL_SCALE, ExperimentScale
@@ -25,24 +25,27 @@ def run_figure6_classifier_quality(
     scale: ExperimentScale = SMALL_SCALE,
     classifiers: tuple[str, ...] = FIGURE6_CLASSIFIERS,
     num_strata: int = 4,
+    workers: int | None = None,
 ) -> list[dict[str, object]]:
     """Regenerate Figure 6 at the requested scale."""
+    workers = scale.workers if workers is None else workers
     rows: list[dict[str, object]] = []
     for dataset in scale.datasets:
         for level in scale.levels:
             workload = build_scaled_workload(dataset, level, scale)
             for fraction in scale.sample_fractions:
                 for classifier_name in classifiers:
-                    trial = make_trial_function(
+                    spec = MethodSpec(
                         "lss", num_strata=num_strata, classifier_name=classifier_name
                     )
                     distribution = run_distribution(
                         workload,
                         f"lss-{classifier_name}",
-                        trial,
+                        spec,
                         fraction,
                         scale.num_trials,
                         scale.seed,
+                        workers=workers,
                     )
                     rows.append(
                         distribution_row(

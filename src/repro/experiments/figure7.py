@@ -9,9 +9,9 @@ wrong, whereas the equivalent LSS configuration stays well-behaved.
 from __future__ import annotations
 
 from repro.experiments.common import (
+    MethodSpec,
     build_scaled_workload,
     distribution_row,
-    make_trial_function,
     run_distribution,
 )
 from repro.experiments.config import SMALL_SCALE, ExperimentScale
@@ -22,8 +22,10 @@ def run_figure7_ql_classifiers(
     scale: ExperimentScale = SMALL_SCALE,
     classifiers: tuple[str, ...] = FIGURE6_CLASSIFIERS,
     methods: tuple[str, ...] = ("qlcc", "qlac"),
+    workers: int | None = None,
 ) -> list[dict[str, object]]:
     """Regenerate Figure 7 at the requested scale."""
+    workers = scale.workers if workers is None else workers
     rows: list[dict[str, object]] = []
     for dataset in scale.datasets:
         for level in scale.levels:
@@ -31,14 +33,15 @@ def run_figure7_ql_classifiers(
             for fraction in scale.sample_fractions:
                 for method in methods:
                     for classifier_name in classifiers:
-                        trial = make_trial_function(method, classifier_name=classifier_name)
+                        spec = MethodSpec(method, classifier_name=classifier_name)
                         distribution = run_distribution(
                             workload,
                             f"{method}-{classifier_name}",
-                            trial,
+                            spec,
                             fraction,
                             scale.num_trials,
                             scale.seed,
+                            workers=workers,
                         )
                         rows.append(
                             distribution_row(

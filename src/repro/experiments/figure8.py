@@ -10,9 +10,9 @@ when the cross-validated rate estimates are unlucky.
 from __future__ import annotations
 
 from repro.experiments.common import (
+    MethodSpec,
     build_scaled_workload,
     distribution_row,
-    make_trial_function,
     run_distribution,
 )
 from repro.experiments.config import SMALL_SCALE, ExperimentScale
@@ -22,8 +22,10 @@ def run_figure8_ql_methods(
     scale: ExperimentScale = SMALL_SCALE,
     methods: tuple[str, ...] = ("qlcc", "qlac"),
     augmentation_rounds: tuple[int, ...] = (0, 1),
+    workers: int | None = None,
 ) -> list[dict[str, object]]:
     """Regenerate Figure 8 at the requested scale."""
+    workers = scale.workers if workers is None else workers
     rows: list[dict[str, object]] = []
     for dataset in scale.datasets:
         for level in scale.levels:
@@ -31,15 +33,16 @@ def run_figure8_ql_methods(
             for fraction in scale.sample_fractions:
                 for method in methods:
                     for rounds in augmentation_rounds:
-                        trial = make_trial_function(method, active_learning_rounds=rounds)
+                        spec = MethodSpec(method, active_learning_rounds=rounds)
                         suffix = "aug" if rounds else "plain"
                         distribution = run_distribution(
                             workload,
                             f"{method}-{suffix}",
-                            trial,
+                            spec,
                             fraction,
                             scale.num_trials,
                             scale.seed,
+                            workers=workers,
                         )
                         rows.append(
                             distribution_row(

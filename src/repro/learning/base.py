@@ -49,6 +49,13 @@ class Classifier(ABC):
     naturally.
     """
 
+    #: Whether ``predict_scores`` is a pure function of the fitted state —
+    #: true for every real learner.  Classifiers that consume internal RNG
+    #: state per call (the random baseline) set this to False so batch
+    #: helpers know row-chunked scoring would not reproduce the serial
+    #: stream.
+    deterministic_scores: bool = True
+
     @abstractmethod
     def fit(self, features: np.ndarray, labels: np.ndarray) -> "Classifier":
         """Fit the classifier on a labelled sample and return ``self``."""

@@ -24,6 +24,10 @@ class RandomScoreClassifier(Classifier):
     random behaviour — exactly the robustness scenario the paper tests.
     """
 
+    # Each call advances ``rng_``, so chunked scoring cannot reproduce the
+    # serial stream.
+    deterministic_scores = False
+
     def __init__(self, seed: int | None = 0) -> None:
         self.seed = seed
 

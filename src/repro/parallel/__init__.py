@@ -1,0 +1,62 @@
+"""Deterministic parallel execution for the experiment harness.
+
+The paper's evaluation is embarrassingly parallel — every figure is a
+distribution over independent trials — but naive fan-out breaks the one
+property a reproduction cannot give up: seed-exact results.  This package
+makes parallelism a pure performance knob:
+
+* :class:`~repro.parallel.engine.ExecutionEngine` — chunked, order-
+  preserving process-pool map with a zero-overhead serial path.
+* :class:`~repro.parallel.methods.MethodSpec` /
+  :class:`~repro.workloads.queries.WorkloadSpec` /
+  :class:`~repro.parallel.tasks.TrialTask` — pickle-safe descriptions of
+  what to run, so closures never cross process boundaries.
+* :class:`~repro.parallel.runner.ParallelTrialRunner` — shards trials over
+  workers using the same per-trial child streams as the serial runner,
+  shares the bulk label cache across processes, and reduces compact
+  per-trial records into the usual distribution summaries.  Results are
+  byte-identical to serial execution for the same master seed.
+* :mod:`~repro.parallel.fingerprint` — byte-exact estimate fingerprints
+  used to audit that guarantee.
+"""
+
+from repro.parallel.batch import predict_scores_chunked
+from repro.parallel.engine import ExecutionEngine, available_workers, resolve_worker_count
+from repro.parallel.fingerprint import (
+    distribution_fingerprint,
+    estimate_fingerprint,
+    estimates_fingerprint,
+)
+from repro.parallel.methods import METHODS, MethodSpec, classifier_factory
+from repro.parallel.runner import ParallelTrialRunner, run_trials_parallel
+from repro.parallel.tasks import (
+    TrialResult,
+    TrialTask,
+    clear_workload_cache,
+    execute_trial_chunk,
+    prime_workload_cache,
+    run_single_trial,
+)
+from repro.workloads.queries import WorkloadSpec
+
+__all__ = [
+    "ExecutionEngine",
+    "METHODS",
+    "MethodSpec",
+    "ParallelTrialRunner",
+    "TrialResult",
+    "TrialTask",
+    "WorkloadSpec",
+    "available_workers",
+    "classifier_factory",
+    "clear_workload_cache",
+    "distribution_fingerprint",
+    "estimate_fingerprint",
+    "estimates_fingerprint",
+    "execute_trial_chunk",
+    "predict_scores_chunked",
+    "prime_workload_cache",
+    "resolve_worker_count",
+    "run_single_trial",
+    "run_trials_parallel",
+]

@@ -1,0 +1,56 @@
+"""Chunked batch evaluation helpers built on the execution engine.
+
+These cover the bulk, trivially-parallel array jobs in the experiment
+drivers — scoring a whole object set with a trained classifier, evaluating a
+predicate over every object — where the natural work unit is a contiguous
+slice of rows sized to the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learning.base import Classifier
+from repro.parallel.engine import ExecutionEngine, resolve_worker_count
+
+
+def _score_chunk(payload: tuple[Classifier, np.ndarray]) -> np.ndarray:
+    classifier, features = payload
+    return classifier.predict_scores(features)
+
+
+def predict_scores_chunked(
+    classifier: Classifier,
+    features: np.ndarray,
+    workers: int | None = 1,
+    chunk_size: int | None = None,
+) -> np.ndarray:
+    """Score ``features`` with ``classifier``, fanning out over row chunks.
+
+    For classifiers whose scoring is a pure per-row function of the fitted
+    state (``deterministic_scores``, i.e. every real learner) chunking is
+    exact: the concatenated result is identical for any worker count.
+    Classifiers that consume internal RNG state per call (the random
+    baseline) are scored serially regardless of ``workers``, because row
+    chunks would each replay the same stream prefix.  With ``workers <= 1``
+    this is just ``classifier.predict_scores(features)``.  The classifier
+    must be picklable for ``workers > 1`` (every classifier in
+    :mod:`repro.learning` is).
+    """
+    workers = resolve_worker_count(workers)
+    if (
+        workers <= 1
+        or features.shape[0] <= 1
+        or not getattr(classifier, "deterministic_scores", True)
+    ):
+        return classifier.predict_scores(features)
+    num_rows = features.shape[0]
+    if chunk_size is None:
+        chunk_size = max(1, -(-num_rows // workers))
+    payloads = [
+        (classifier, features[start : start + chunk_size])
+        for start in range(0, num_rows, chunk_size)
+    ]
+    engine = ExecutionEngine(workers=workers, chunk_size=1)
+    parts = engine.map(_score_chunk, payloads)
+    return np.concatenate(parts)

@@ -1,0 +1,80 @@
+"""Byte-exact fingerprints of estimates, for equivalence auditing.
+
+Two executions of the same experiment are *equivalent* when every trial's
+estimate matches bit-for-bit.  Floats are fingerprinted through their IEEE-754
+byte representation (``struct.pack('<d', x)``), not a decimal rendering, so
+the check is exact: a single ULP of drift between a serial and a parallel run
+changes the digest.  Non-deterministic diagnostics (wall-clock timings,
+design objects) are deliberately excluded — they describe the run, not the
+estimate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterable
+
+from repro.core.estimate import CountEstimate
+from repro.workloads.metrics import EstimateDistribution
+
+
+def _pack_float(value: float | None) -> bytes:
+    if value is None:
+        return b"\x00none\x00"
+    return struct.pack("<d", float(value))
+
+
+def _pack_int(value: int) -> bytes:
+    return struct.pack("<q", int(value))
+
+
+def estimate_fingerprint(estimate: CountEstimate) -> str:
+    """Hex digest of every deterministic field of one estimate."""
+    digest = hashlib.sha256()
+    digest.update(estimate.method.encode())
+    digest.update(_pack_float(estimate.count))
+    digest.update(_pack_float(estimate.proportion))
+    digest.update(_pack_int(estimate.population_size))
+    digest.update(_pack_int(estimate.predicate_evaluations))
+    digest.update(_pack_float(estimate.variance))
+    digest.update(_pack_float(estimate.count_offset))
+    interval = estimate.interval
+    if interval is None:
+        digest.update(b"\x00no-interval\x00")
+    else:
+        digest.update(interval.method.encode())
+        digest.update(_pack_float(interval.low))
+        digest.update(_pack_float(interval.high))
+        digest.update(_pack_float(interval.confidence))
+    return digest.hexdigest()
+
+
+def estimates_fingerprint(estimates: Iterable[CountEstimate]) -> str:
+    """Hex digest over an ordered sequence of estimates (one experiment)."""
+    digest = hashlib.sha256()
+    for estimate in estimates:
+        digest.update(estimate_fingerprint(estimate).encode())
+    return digest.hexdigest()
+
+
+def distribution_fingerprint(distribution: EstimateDistribution) -> str:
+    """Hex digest of a summarised distribution (counts + summary stats)."""
+    digest = hashlib.sha256()
+    digest.update(distribution.method.encode())
+    digest.update(_pack_float(distribution.true_count))
+    for count in distribution.counts:
+        digest.update(_pack_float(float(count)))
+    for value in (
+        distribution.median,
+        distribution.q1,
+        distribution.q3,
+        distribution.iqr,
+        distribution.mean_absolute_error,
+        distribution.median_relative_error,
+        distribution.coverage,
+        distribution.mean_evaluations,
+    ):
+        digest.update(_pack_float(value))
+    digest.update(_pack_int(distribution.outlier_count))
+    return digest.hexdigest()

@@ -1,0 +1,143 @@
+"""Deterministic parallel counterpart of :class:`~repro.workloads.runner.TrialRunner`.
+
+Trials are sharded across a process pool in contiguous chunks; every trial
+``i`` draws from the same child stream ``spawn_seeds(seed, n)[i]`` it would
+receive serially, workers rebuild (or inherit) an identical workload from
+the pickle-safe spec, and per-trial accounting is scoped to the task — so
+the resulting estimates are **byte-identical** to a serial run with the same
+master seed, for any worker count and any chunking.
+
+The reduce step ships only compact :class:`~repro.parallel.tasks.TrialResult`
+records back to the parent, which reassembles them in trial order and
+summarises the distribution exactly as the serial runner does.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+from repro.core.estimate import CountEstimate
+from repro.parallel.engine import ExecutionEngine, resolve_worker_count
+from repro.parallel.methods import MethodSpec
+from repro.parallel.tasks import TrialTask, execute_trial_chunk, prime_workload_cache
+from repro.sampling.rng import SeedLike, spawn_seed_descriptors
+from repro.workloads.metrics import EstimateDistribution, summarize_estimates
+from repro.workloads.queries import Workload, WorkloadSpec
+
+
+@dataclass
+class ParallelTrialRunner:
+    """Run an estimator's trials across a process pool, deterministically.
+
+    Attributes:
+        workload_spec: recipe for the workload; workers rebuild from it.
+        num_trials: number of independent repetitions.
+        seed: master seed; trial ``i`` gets child stream ``i`` exactly as in
+            the serial runner.
+        workers: process count (``1`` = in-process serial execution;
+            ``None``/``0`` = all available CPUs).
+        chunk_size: trials per dispatched chunk; sized to the data when
+            omitted.
+        workload: optionally, an already-built workload matching the spec.
+            Its bulk label cache is shared with the workers (shipped under
+            ``spawn``, inherited under ``fork``) so the expensive predicate
+            scan runs once per experiment instead of once per worker.
+    """
+
+    workload_spec: WorkloadSpec
+    num_trials: int = 30
+    seed: SeedLike = 0
+    workers: int | None = 1
+    chunk_size: int | None = None
+    workload: Workload | None = None
+    estimates: dict[str, list[CountEstimate]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.workload is not None and self.workload.spec not in (None, self.workload_spec):
+            raise ValueError("prebuilt workload does not match workload_spec")
+
+    def _materialised_workload(self) -> Workload:
+        if self.workload is None:
+            self.workload = self.workload_spec.build()
+        return self.workload
+
+    def run(self, method_name: str, method_spec: MethodSpec, budget: int) -> EstimateDistribution:
+        """Run ``num_trials`` independent trials of one estimator.
+
+        Args:
+            method_name: label under which the results are stored.
+            method_spec: pickle-safe description of the estimator to run.
+            budget: predicate evaluations each trial may spend.
+        """
+        if self.num_trials <= 0:
+            raise ValueError("num_trials must be positive")
+        workers = resolve_worker_count(self.workers)
+        workload = self._materialised_workload()
+        seeds = spawn_seed_descriptors(self.seed, self.num_trials)
+        tasks = [
+            TrialTask(trial_index=index, seed=descriptor, budget=budget)
+            for index, descriptor in enumerate(seeds)
+        ]
+
+        engine = ExecutionEngine(workers=workers, chunk_size=self.chunk_size)
+        shared_labels = None
+        if workers > 1 and workload.query.cache_labels:
+            # Share the bulk label cache: computed once here, inherited by
+            # fork workers via the primed cache, and shipped alongside each
+            # chunk only when workers cannot inherit it (spawn), to avoid
+            # re-pickling the array per chunk for nothing.
+            labels = workload.query.export_label_cache(compute=True)
+            if not engine.workers_inherit_parent_state():
+                shared_labels = labels
+        # Priming also serves the in-process path: execute_trial_chunk
+        # resolves its workload through the cache, so serial runs reuse this
+        # exact workload instead of rebuilding one.
+        prime_workload_cache(self.workload_spec, workload)
+
+        chunk_function = functools.partial(
+            execute_trial_chunk,
+            self.workload_spec,
+            method_spec,
+            shared_labels=shared_labels,
+        )
+        results = engine.map_chunks(chunk_function, tasks)
+        ordered = sorted(results, key=lambda result: result.trial_index)
+        collected = [result.to_estimate() for result in ordered]
+        self.estimates[method_name] = collected
+        return summarize_estimates(method_name, collected, workload.true_count)
+
+    def distribution(self, method_name: str) -> EstimateDistribution:
+        """Summarise the stored estimates of a previously run method."""
+        if method_name not in self.estimates:
+            raise KeyError(f"no trials recorded for {method_name!r}")
+        return summarize_estimates(
+            method_name, self.estimates[method_name], self._materialised_workload().true_count
+        )
+
+
+def run_trials_parallel(
+    workload: Workload,
+    method_name: str,
+    method_spec: MethodSpec,
+    budget: int,
+    num_trials: int = 30,
+    seed: SeedLike = 0,
+    workers: int | None = 1,
+    chunk_size: int | None = None,
+) -> EstimateDistribution:
+    """Convenience wrapper: parallel trials over an already-built workload."""
+    if workload.spec is None:
+        raise ValueError(
+            "workload has no spec; only workloads built by build_workload() "
+            "can be executed in parallel"
+        )
+    runner = ParallelTrialRunner(
+        workload_spec=workload.spec,
+        num_trials=num_trials,
+        seed=seed,
+        workers=workers,
+        chunk_size=chunk_size,
+        workload=workload,
+    )
+    return runner.run(method_name, method_spec, budget)

@@ -1,0 +1,172 @@
+"""Trial task descriptors and the worker-side execution functions.
+
+A trial is described by plain data — which workload to rebuild
+(:class:`~repro.workloads.queries.WorkloadSpec`), which estimator
+configuration to run (:class:`~repro.parallel.methods.MethodSpec`), the
+budget, and a :class:`~repro.sampling.rng.SeedDescriptor` naming the trial's
+child stream.  Workers rebuild the workload once per process (cached by
+spec), optionally adopting a label cache shipped from the parent so the bulk
+predicate scan runs exactly once per experiment, then execute their chunk of
+trials and return compact :class:`TrialResult` records for the reduce step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.estimate import CountEstimate
+from repro.parallel.methods import MethodSpec
+from repro.sampling.intervals import ConfidenceInterval
+from repro.sampling.rng import SeedDescriptor
+from repro.workloads.queries import Workload, WorkloadSpec
+
+#: Per-process cache of built workloads, keyed by spec.  With a forking
+#: start method the parent can prime this before the pool is created and
+#: every worker inherits the fully-built workload (label cache included)
+#: for free; with spawn, each worker builds on first use.  Bounded so a
+#: long-lived parent sweeping many (dataset, level, scale) cells does not
+#: pin every table + label cache for its whole lifetime.
+_WORKLOAD_CACHE: dict[WorkloadSpec, Workload] = {}
+_WORKLOAD_CACHE_LIMIT = 8
+
+
+def _evict_oldest() -> None:
+    while len(_WORKLOAD_CACHE) > _WORKLOAD_CACHE_LIMIT:
+        _WORKLOAD_CACHE.pop(next(iter(_WORKLOAD_CACHE)))
+
+
+def prime_workload_cache(spec: WorkloadSpec, workload: Workload) -> None:
+    """Pre-populate the per-process workload cache (parent side).
+
+    Called before the pool is created so fork-based workers inherit the
+    already-built workload instead of rebuilding it.
+    """
+    # Re-insert so the primed spec is the freshest entry (plain assignment
+    # keeps an existing key's stale position in insertion order).
+    _WORKLOAD_CACHE.pop(spec, None)
+    _WORKLOAD_CACHE[spec] = workload
+    _evict_oldest()
+
+
+def clear_workload_cache() -> None:
+    """Drop all cached workloads (tests and long-lived processes)."""
+    _WORKLOAD_CACHE.clear()
+
+
+def _workload_for(spec: WorkloadSpec, shared_labels: np.ndarray | None) -> Workload:
+    workload = _WORKLOAD_CACHE.get(spec)
+    if workload is None:
+        workload = spec.build()
+        workload.query.attach_label_cache(shared_labels)
+        _WORKLOAD_CACHE[spec] = workload
+        _evict_oldest()
+    return workload
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One trial of one estimator configuration, as shippable data."""
+
+    trial_index: int
+    seed: SeedDescriptor
+    budget: int
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """The deterministic content of one trial's :class:`CountEstimate`.
+
+    Heavyweight diagnostics (stratum designs, per-phase timings, sampled
+    index arrays) stay in the worker; only the fields that define the
+    estimate — and therefore its fingerprint — cross the process boundary.
+    """
+
+    trial_index: int
+    count: float
+    proportion: float
+    population_size: int
+    predicate_evaluations: int
+    method: str
+    interval_low: float | None
+    interval_high: float | None
+    interval_confidence: float | None
+    interval_method: str | None
+    variance: float | None
+    count_offset: float
+
+    @classmethod
+    def from_estimate(cls, trial_index: int, estimate: CountEstimate) -> "TrialResult":
+        interval = estimate.interval
+        return cls(
+            trial_index=trial_index,
+            count=estimate.count,
+            proportion=estimate.proportion,
+            population_size=estimate.population_size,
+            predicate_evaluations=estimate.predicate_evaluations,
+            method=estimate.method,
+            interval_low=interval.low if interval is not None else None,
+            interval_high=interval.high if interval is not None else None,
+            interval_confidence=interval.confidence if interval is not None else None,
+            interval_method=interval.method if interval is not None else None,
+            variance=estimate.variance,
+            count_offset=estimate.count_offset,
+        )
+
+    def to_estimate(self) -> CountEstimate:
+        """Rebuild a (diagnostics-free) :class:`CountEstimate`."""
+        interval = None
+        if self.interval_low is not None:
+            interval = ConfidenceInterval(
+                low=self.interval_low,
+                high=self.interval_high,
+                confidence=self.interval_confidence,
+                method=self.interval_method,
+            )
+        return CountEstimate(
+            count=self.count,
+            proportion=self.proportion,
+            population_size=self.population_size,
+            predicate_evaluations=self.predicate_evaluations,
+            method=self.method,
+            interval=interval,
+            variance=self.variance,
+            count_offset=self.count_offset,
+        )
+
+
+def run_single_trial(
+    workload: Workload,
+    method_spec: MethodSpec,
+    task: TrialTask,
+) -> CountEstimate:
+    """Execute one trial inside a fresh accounting scope.
+
+    The accounting reset lives here — with the task, not with the runner —
+    so concurrent trials on per-worker workload copies never race on shared
+    counters and serial runners stop mutating state another method's trials
+    may observe.
+    """
+    with workload.query.fresh_accounting():
+        return method_spec.build_trial_function()(workload, task.seed.resolve(), task.budget)
+
+
+def execute_trial_chunk(
+    workload_spec: WorkloadSpec,
+    method_spec: MethodSpec,
+    tasks: tuple[TrialTask, ...],
+    shared_labels: np.ndarray | None = None,
+) -> list[TrialResult]:
+    """Worker entry point: run a chunk of trials against one workload.
+
+    Module-level (hence picklable by reference) and pure apart from the
+    per-process workload cache.  Trials within the chunk run in task order;
+    each draws only from its own child stream, so chunking never affects
+    results.
+    """
+    workload = _workload_for(workload_spec, shared_labels)
+    return [
+        TrialResult.from_estimate(task.trial_index, run_single_trial(workload, method_spec, task))
+        for task in tasks
+    ]

@@ -9,8 +9,9 @@ have been spent, and exposes exact ground truth for experiment validation.
 
 from __future__ import annotations
 
+import contextlib
 import time
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -88,9 +89,29 @@ class CountingQuery:
         return self._evaluation_seconds
 
     def reset_accounting(self) -> None:
-        """Reset the evaluation counters (between experiment trials)."""
+        """Reset the evaluation counters (between experiment trials).
+
+        The label cache survives the reset: accounting measures the paper's
+        cost model (predicate evaluations charged to the current trial), not
+        whether a bulk scan has physically run, so resetting between trials
+        must never re-trigger the expensive full-table evaluation.
+        """
         self._evaluations = 0
         self._evaluation_seconds = 0.0
+
+    @contextlib.contextmanager
+    def fresh_accounting(self) -> Iterator["CountingQuery"]:
+        """Scope one trial's evaluation accounting.
+
+        Trial runners (serial and per-worker parallel) wrap each trial in
+        this context instead of mutating shared runner state, so the
+        reset/charge cycle lives with the task that owns the trial.  Each
+        parallel worker holds its own query instance, which keeps the
+        counters race-free; within a process, trials on the same query must
+        not interleave.
+        """
+        self.reset_accounting()
+        yield self
 
     def _all_labels(self) -> np.ndarray:
         if self._cached_labels is None:
@@ -98,6 +119,35 @@ class CountingQuery:
                 self.predicate.evaluate_all(self.table), dtype=np.float64
             )
         return self._cached_labels
+
+    # -- label-cache sharing --------------------------------------------------
+    def export_label_cache(self, compute: bool = False) -> np.ndarray | None:
+        """Return the bulk label cache for sharing with sibling queries.
+
+        The parallel engine ships this array to worker processes so that a
+        query rebuilt from a :class:`~repro.workloads.queries.WorkloadSpec`
+        can skip its own bulk predicate scan.  ``compute=True`` forces the
+        scan now (in the parent, once) instead of lazily per worker.
+        """
+        if compute:
+            return self._all_labels()
+        return self._cached_labels
+
+    def attach_label_cache(self, labels: np.ndarray | None) -> None:
+        """Adopt a bulk label cache computed by an identical sibling query.
+
+        The caller asserts the labels came from the same (table, predicate)
+        pair — typically a query built from the same workload spec in
+        another process.  Only the length is validated.
+        """
+        if labels is None:
+            return
+        labels = np.asarray(labels, dtype=np.float64)
+        if labels.shape != (self.num_objects,):
+            raise ValueError(
+                f"label cache of shape {labels.shape} does not cover {self.num_objects} objects"
+            )
+        self._cached_labels = labels
 
     def evaluate(self, indices: Sequence[int] | np.ndarray) -> np.ndarray:
         """Evaluate the expensive predicate on the given objects.
@@ -114,6 +164,34 @@ class CountingQuery:
         self._evaluations += int(indices.size)
         self._evaluation_seconds += time.perf_counter() - started
         return labels
+
+    def evaluate_batch(
+        self,
+        indices: Sequence[int] | np.ndarray,
+        chunk_size: int | None = None,
+    ) -> np.ndarray:
+        """Evaluate the predicate over a large index set in bounded chunks.
+
+        Accounting is identical to :meth:`evaluate` (the same total number of
+        evaluations is charged), but uncached predicates are driven in
+        chunks sized to the data rather than one giant call, which bounds
+        peak memory and gives schedulers a natural work unit.  With the
+        label cache enabled this collapses to a single fancy-index lookup.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if self.cache_labels or indices.size == 0:
+            return self.evaluate(indices)
+        if chunk_size is None:
+            # Size work units to the data: aim for ~8 chunks, but never make
+            # chunks so small that per-call overhead dominates.
+            chunk_size = max(256, -(-indices.size // 8))
+        parts = [
+            self.evaluate(indices[start : start + chunk_size])
+            for start in range(0, indices.size, chunk_size)
+        ]
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
     def oracle(self) -> Callable[[np.ndarray], np.ndarray]:
         """Return a label oracle bound to this query (for the estimators)."""

@@ -97,7 +97,9 @@ class GridIndex:
         return counts
 
 
-def neighbor_counts(points: np.ndarray, radius: float, cell_size: float | None = None) -> np.ndarray:
+def neighbor_counts(
+    points: np.ndarray, radius: float, cell_size: float | None = None
+) -> np.ndarray:
     """Number of other points within ``radius`` of each point."""
     points = np.asarray(points, dtype=np.float64)
     index = GridIndex(points, cell_size or radius)

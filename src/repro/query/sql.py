@@ -151,7 +151,8 @@ class SQLCountingBackend:
                   AND ((o2.{x_column} - (SELECT {x_column} FROM {name} WHERE rowidx = :idx))
                         * (o2.{x_column} - (SELECT {x_column} FROM {name} WHERE rowidx = :idx))
                      + (o2.{y_column} - (SELECT {y_column} FROM {name} WHERE rowidx = :idx))
-                        * (o2.{y_column} - (SELECT {y_column} FROM {name} WHERE rowidx = :idx))) <= :dist_sq
+                        * (o2.{y_column}
+                           - (SELECT {y_column} FROM {name} WHERE rowidx = :idx))) <= :dist_sq
             ) <= :k
         """
         (result,) = self.connection.execute(

@@ -31,7 +31,11 @@ from repro.sampling.stratified import (
     equal_count_strata,
     equal_width_strata,
 )
-from repro.sampling.weighted import DesRajEstimator, WeightedSampling, pps_sample_without_replacement
+from repro.sampling.weighted import (
+    DesRajEstimator,
+    WeightedSampling,
+    pps_sample_without_replacement,
+)
 
 __all__ = [
     "AllocationResult",

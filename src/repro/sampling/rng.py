@@ -8,6 +8,7 @@ trial its own child seed derived from a single master seed.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -26,20 +27,69 @@ def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_seeds(seed: SeedLike, count: int) -> list[np.random.Generator]:
-    """Derive ``count`` independent generators from one master seed.
+@dataclass(frozen=True)
+class SeedDescriptor:
+    """A pickle-safe recipe for one child random stream.
 
-    The experiment runner uses this to give every trial its own stream while
-    the whole experiment remains reproducible from a single integer.
+    The parallel trial engine ships these to worker processes instead of
+    generators (which do not round-trip through pickle with their lineage
+    intact).  ``resolve()`` rebuilds exactly the generator that
+    :func:`spawn_seeds` would have produced for the same child, so serial
+    and parallel executions draw identical streams.
+
+    Exactly one of the two payloads is set: ``integer_seed`` for children
+    derived from an existing :class:`numpy.random.Generator`, or
+    ``entropy``/``spawn_key`` for children spawned from a
+    :class:`numpy.random.SeedSequence`.
+    """
+
+    integer_seed: int | None = None
+    entropy: int | tuple[int, ...] | None = None
+    spawn_key: tuple[int, ...] = ()
+
+    def resolve(self) -> np.random.Generator:
+        """Instantiate the child generator this descriptor describes."""
+        if self.integer_seed is not None:
+            return np.random.default_rng(self.integer_seed)
+        sequence = np.random.SeedSequence(entropy=self.entropy, spawn_key=self.spawn_key)
+        return np.random.default_rng(sequence)
+
+
+def _as_entropy(value) -> int | tuple[int, ...]:
+    """Normalise ``SeedSequence.entropy`` to a hashable, picklable form."""
+    if isinstance(value, (list, np.ndarray)):
+        return tuple(int(item) for item in value)
+    return int(value) if value is not None else 0
+
+
+def spawn_seed_descriptors(seed: SeedLike, count: int) -> list[SeedDescriptor]:
+    """Derive ``count`` pickle-safe child-stream descriptors from one seed.
+
+    ``[d.resolve() for d in spawn_seed_descriptors(seed, n)]`` is guaranteed
+    to yield the same streams as ``spawn_seeds(seed, n)``; the trial engine
+    relies on this to keep parallel runs byte-identical to serial ones.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
     if isinstance(seed, np.random.Generator):
         # Use the generator itself to derive child seeds.
         children = seed.integers(0, 2**63 - 1, size=count)
-        return [np.random.default_rng(int(c)) for c in children]
+        return [SeedDescriptor(integer_seed=int(c)) for c in children]
     sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+    entropy = _as_entropy(sequence.entropy)
+    return [
+        SeedDescriptor(entropy=entropy, spawn_key=tuple(int(k) for k in child.spawn_key))
+        for child in sequence.spawn(count)
+    ]
+
+
+def spawn_seeds(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one master seed.
+
+    The experiment runner uses this to give every trial its own stream while
+    the whole experiment remains reproducible from a single integer.
+    """
+    return [descriptor.resolve() for descriptor in spawn_seed_descriptors(seed, count)]
 
 
 def sample_without_replacement(

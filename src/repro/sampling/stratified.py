@@ -17,7 +17,7 @@ strata instead of attribute-based ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -368,7 +368,9 @@ class TwoStageNeymanSampling:
             evaluations += drawn.size
             if n_h > 0:
                 remaining = np.setdiff1d(stratum, drawn, assume_unique=False)
-                extra = sample_without_replacement(remaining, int(min(n_h, remaining.size)), seed=rng)
+                extra = sample_without_replacement(
+                    remaining, int(min(n_h, remaining.size)), seed=rng
+                )
                 extra_labels = evaluate_labels(oracle, extra)
                 evaluations += extra.size
                 combined_labels.append(extra_labels)

@@ -35,6 +35,35 @@ from repro.query.predicates import NeighborCountPredicate, SkybandPredicate
 DEFAULT_NEIGHBOR_DISTANCE = 1.5
 
 
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A pickle-safe recipe for rebuilding a :class:`Workload`.
+
+    Workload construction is fully deterministic given these fields, so a
+    worker process that rebuilds from the same spec obtains an object-set,
+    calibration and ground truth identical to the parent's.  The parallel
+    trial engine ships specs (cheap) instead of workloads (heavy, and not
+    guaranteed picklable for user-defined predicates) and caches one built
+    workload per spec per process.
+    """
+
+    dataset: str
+    level: str | float = "S"
+    num_rows: int | None = None
+    seed: int | None = None
+    cache_labels: bool = True
+
+    def build(self) -> "Workload":
+        """Construct the described workload (deterministic)."""
+        return build_workload(
+            self.dataset,
+            level=self.level,
+            num_rows=self.num_rows,
+            seed=self.seed,
+            cache_labels=self.cache_labels,
+        )
+
+
 @dataclass
 class Workload:
     """A calibrated counting workload.
@@ -44,12 +73,16 @@ class Workload:
         level: selectivity level label (``"XS"`` ... ``"XXL"``) or fraction.
         query: the :class:`CountingQuery` to estimate.
         calibration: how the query parameter was calibrated.
+        spec: the recipe this workload was built from, when it came out of
+            :func:`build_workload`; lets the parallel engine rebuild an
+            identical workload inside worker processes.
     """
 
     name: str
     level: str | float
     query: CountingQuery
     calibration: CalibrationResult
+    spec: WorkloadSpec | None = None
 
     @property
     def true_count(self) -> int:
@@ -82,7 +115,10 @@ def build_sports_workload(
         name=f"sports-skyband-{level}",
         cache_labels=cache_labels,
     )
-    return Workload(name="sports", level=level, query=query, calibration=calibration)
+    spec = WorkloadSpec(
+        dataset="sports", level=level, num_rows=num_rows, seed=seed, cache_labels=cache_labels
+    )
+    return Workload(name="sports", level=level, query=query, calibration=calibration, spec=spec)
 
 
 def build_neighbors_workload(
@@ -109,7 +145,21 @@ def build_neighbors_workload(
         name=f"neighbors-{level}",
         cache_labels=cache_labels,
     )
-    return Workload(name="neighbors", level=level, query=query, calibration=calibration)
+    # A spec can only describe what build_workload can rebuild; a custom
+    # neighbour distance is not part of the spec vocabulary, so such
+    # workloads stay serial-only (spec=None).
+    spec = (
+        WorkloadSpec(
+            dataset="neighbors",
+            level=level,
+            num_rows=num_rows,
+            seed=seed,
+            cache_labels=cache_labels,
+        )
+        if distance == DEFAULT_NEIGHBOR_DISTANCE
+        else None
+    )
+    return Workload(name="neighbors", level=level, query=query, calibration=calibration, spec=spec)
 
 
 def build_workload(

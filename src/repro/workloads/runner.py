@@ -2,12 +2,16 @@
 
 Every figure in the paper's evaluation is a distribution of estimates over
 repeated runs; :class:`TrialRunner` centralises the trial loop (independent
-seeds per trial, evaluation-counter resets, distribution summarisation) so
-the per-figure drivers only declare *what* to run.
+seeds per trial, per-trial accounting scope, distribution summarisation) so
+the per-figure drivers only declare *what* to run.  Spec-described methods
+can additionally fan out across a process pool through
+:class:`~repro.parallel.runner.ParallelTrialRunner` via the ``workers=``
+knob; results are byte-identical either way.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -28,11 +32,17 @@ class TrialRunner:
         workload: the workload to estimate.
         num_trials: number of independent repetitions.
         seed: master seed; each trial receives an independent child stream.
+        workers: process count for :meth:`run_method` (``1``, the default,
+            executes serially in-process and preserves historical
+            behaviour; ``None``/``0`` uses every available CPU).  The
+            callable-based :meth:`run` is always serial, since closures
+            cannot cross process boundaries.
     """
 
     workload: Workload
     num_trials: int = 30
     seed: SeedLike = 0
+    workers: int | None = 1
     estimates: dict[str, list[CountEstimate]] = field(default_factory=dict)
 
     def run(
@@ -52,10 +62,48 @@ class TrialRunner:
         rngs = spawn_seeds(self.seed, self.num_trials)
         collected: list[CountEstimate] = []
         for rng in rngs:
-            self.workload.query.reset_accounting()
-            collected.append(run_trial(self.workload, rng))
+            # Accounting is scoped to the trial, not mutated ambiently by
+            # the runner: each trial starts from zeroed counters regardless
+            # of what ran before it on this query instance.
+            with self.workload.query.fresh_accounting():
+                collected.append(run_trial(self.workload, rng))
         self.estimates[method_name] = collected
         return summarize_estimates(method_name, collected, self.workload.true_count)
+
+    def run_method(self, method_name: str, method_spec, budget: int) -> EstimateDistribution:
+        """Run a spec-described method, fanning out when ``workers > 1``.
+
+        ``method_spec`` is a :class:`~repro.parallel.methods.MethodSpec`.
+        Workloads without a rebuild spec (hand-assembled tables, custom
+        predicates) cannot be shipped to worker processes and fall back to
+        serial execution with a warning — the results are identical either
+        way, only slower.
+        """
+        from repro.parallel.engine import resolve_worker_count
+        from repro.parallel.runner import ParallelTrialRunner
+
+        workers = resolve_worker_count(self.workers)
+        if workers > 1 and self.workload.spec is None:
+            warnings.warn(
+                "workload has no WorkloadSpec; running trials serially",
+                stacklevel=2,
+            )
+            workers = 1
+        if workers <= 1:
+            trial_function = method_spec.build_trial_function()
+            return self.run(
+                method_name, lambda workload, rng: trial_function(workload, rng, budget)
+            )
+        runner = ParallelTrialRunner(
+            workload_spec=self.workload.spec,
+            num_trials=self.num_trials,
+            seed=self.seed,
+            workers=workers,
+            workload=self.workload,
+        )
+        distribution = runner.run(method_name, method_spec, budget)
+        self.estimates[method_name] = runner.estimates[method_name]
+        return distribution
 
     def distribution(self, method_name: str) -> EstimateDistribution:
         """Summarise the stored estimates of a previously run method."""

@@ -1,0 +1,85 @@
+"""Dry-parse and structural checks for the CI pipeline definition.
+
+There is no actionlint in the offline toolchain, so this is the equivalent
+gate: the workflow must be valid YAML and keep the tiered structure the
+repository documents — a fast job (tests only, three interpreters, pip
+cache) on every push/PR, and a full job (tests + benchmarks) behind the
+nightly schedule / `run-benchmarks` label.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW_PATH = pathlib.Path(__file__).parent.parent / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow() -> dict:
+    assert WORKFLOW_PATH.is_file(), "CI workflow file is missing"
+    with WORKFLOW_PATH.open() as handle:
+        parsed = yaml.safe_load(handle)
+    assert isinstance(parsed, dict)
+    return parsed
+
+
+class TestWorkflowStructure:
+    def test_triggers(self, workflow):
+        # PyYAML parses the bare key `on` as boolean True.
+        triggers = workflow.get("on", workflow.get(True))
+        assert set(triggers) == {"push", "pull_request", "schedule", "workflow_dispatch"}
+        assert triggers["pull_request"]["types"] == [
+            "opened",
+            "synchronize",
+            "reopened",
+            "labeled",
+        ]
+        assert any("cron" in entry for entry in triggers["schedule"])
+
+    def test_fast_job_matrix_and_tier(self, workflow):
+        fast = workflow["jobs"]["fast"]
+        versions = fast["strategy"]["matrix"]["python-version"]
+        assert versions == ["3.10", "3.11", "3.12"]
+        steps = fast["steps"]
+        setup = next(s for s in steps if str(s.get("uses", "")).startswith("actions/setup-python"))
+        assert setup["with"]["cache"] == "pip"
+        test_step = next(s for s in steps if "pytest" in str(s.get("run", "")))
+        assert '-m "not slow"' in test_step["run"]
+        assert "benchmarks" not in test_step["run"]
+        assert fast["timeout-minutes"] <= 15
+
+    def test_fast_job_lints(self, workflow):
+        steps = workflow["jobs"]["fast"]["steps"]
+        assert any("ruff check" in str(s.get("run", "")) for s in steps)
+
+    def test_full_job_is_gated(self, workflow):
+        full = workflow["jobs"]["full"]
+        condition = full["if"]
+        assert "schedule" in condition
+        assert "workflow_dispatch" in condition
+        assert "run-benchmarks" in condition
+        test_step = next(s for s in full["steps"] if "pytest" in str(s.get("run", "")))
+        assert "benchmarks" in test_step["run"]
+
+    def test_jobs_pin_timeouts(self, workflow):
+        for name, job in workflow["jobs"].items():
+            assert "timeout-minutes" in job, f"job {name} has no timeout"
+
+
+class TestTierConfiguration:
+    def test_markers_registered(self):
+        pyproject = pathlib.Path(__file__).parent.parent / "pyproject.toml"
+        text = pyproject.read_text()
+        assert "slow:" in text
+        assert "benchmark:" in text
+
+    def test_benchmarks_are_marked_slow(self):
+        benchmarks = pathlib.Path(__file__).parent.parent / "benchmarks"
+        drivers = sorted(benchmarks.glob("test_*.py"))
+        assert drivers, "no benchmark drivers found"
+        for driver in drivers:
+            assert "pytest.mark.slow" in driver.read_text(), driver.name

@@ -94,7 +94,9 @@ class TestLearnedWeightedSampling:
     def test_better_than_random_scores(self, threshold_query):
         good = LearnedWeightedSampling()
         bad = LearnedWeightedSampling(classifier=RandomScoreClassifier(seed=0))
-        good_counts = [good.estimate(threshold_query, 80, seed=s).count for s in spawn_seeds(5, 30)]
+        good_counts = [
+            good.estimate(threshold_query, 80, seed=s).count for s in spawn_seeds(5, 30)
+        ]
         bad_counts = [bad.estimate(threshold_query, 80, seed=s).count for s in spawn_seeds(6, 30)]
         true = threshold_query.true_count()
         assert np.median(np.abs(np.array(good_counts) - true)) <= np.median(

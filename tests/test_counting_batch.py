@@ -1,0 +1,116 @@
+"""Tests for the CountingQuery batch path, label-cache sharing and
+per-trial accounting scope."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.batch import predict_scores_chunked
+from repro.workloads.queries import build_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("sports", level="S", num_rows=500)
+
+
+@pytest.fixture(scope="module")
+def uncached_workload():
+    return build_workload("sports", level="S", num_rows=500, cache_labels=False)
+
+
+class TestEvaluateBatch:
+    def test_matches_evaluate_with_cache(self, workload):
+        indices = np.arange(0, 400, 3)
+        with workload.query.fresh_accounting():
+            direct = workload.query.evaluate(indices)
+        with workload.query.fresh_accounting():
+            batched = workload.query.evaluate_batch(indices, chunk_size=17)
+            assert workload.query.evaluations == indices.size
+        np.testing.assert_array_equal(direct, batched)
+
+    def test_matches_evaluate_without_cache(self, uncached_workload):
+        indices = np.arange(0, 500, 7)
+        with uncached_workload.query.fresh_accounting():
+            direct = uncached_workload.query.evaluate(indices)
+        with uncached_workload.query.fresh_accounting():
+            batched = uncached_workload.query.evaluate_batch(indices, chunk_size=11)
+            assert uncached_workload.query.evaluations == indices.size
+        np.testing.assert_array_equal(direct, batched)
+
+    def test_default_chunking_and_empty(self, uncached_workload):
+        with uncached_workload.query.fresh_accounting():
+            empty = uncached_workload.query.evaluate_batch(np.array([], dtype=np.int64))
+            assert empty.size == 0
+            full = uncached_workload.query.evaluate_batch(np.arange(500))
+            assert full.size == 500
+
+    def test_invalid_chunk_size(self, workload):
+        with pytest.raises(ValueError, match="chunk_size"):
+            workload.query.evaluate_batch(np.arange(4), chunk_size=0)
+
+
+class TestLabelCacheSharing:
+    def test_export_then_attach(self, workload):
+        labels = workload.query.export_label_cache(compute=True)
+        assert labels is not None
+        sibling = workload.spec.build()
+        sibling.query.attach_label_cache(labels)
+        # The sibling now answers from the adopted cache without a scan and
+        # reports identical ground truth.
+        assert sibling.query.true_count() == workload.query.true_count()
+        np.testing.assert_array_equal(
+            sibling.query.evaluate(np.arange(100)), workload.query.evaluate(np.arange(100))
+        )
+
+    def test_attach_none_is_noop(self, workload):
+        workload.query.attach_label_cache(None)
+
+    def test_attach_rejects_wrong_shape(self, workload):
+        with pytest.raises(ValueError, match="label cache"):
+            workload.query.attach_label_cache(np.zeros(3))
+
+    def test_export_lazy_returns_none_before_scan(self):
+        fresh = build_workload("sports", level="S", num_rows=300)
+        assert fresh.query.export_label_cache() is None
+
+
+class TestFreshAccounting:
+    def test_scope_resets_counters(self, workload):
+        workload.query.evaluate(np.arange(50))
+        with workload.query.fresh_accounting() as query:
+            assert query.evaluations == 0
+            query.evaluate(np.arange(10))
+            assert query.evaluations == 10
+
+    def test_reset_keeps_label_cache(self, workload):
+        workload.query.export_label_cache(compute=True)
+        workload.query.reset_accounting()
+        assert workload.query.export_label_cache() is not None
+
+
+class TestChunkedScoring:
+    def test_chunked_scores_match_direct(self, workload):
+        from repro.learning.knn import KNeighborsClassifier
+
+        features = workload.query.features()
+        labels = workload.query.ground_truth_labels()
+        classifier = KNeighborsClassifier(n_neighbors=5)
+        classifier.fit(features[:200], labels[:200])
+        direct = classifier.predict_scores(features)
+        chunked = predict_scores_chunked(classifier, features, workers=2, chunk_size=77)
+        np.testing.assert_array_equal(direct, chunked)
+
+    def test_stateful_classifier_scored_serially(self, workload):
+        # RandomScoreClassifier consumes RNG state per call; chunked scoring
+        # would replay the same stream prefix per chunk, so the helper must
+        # fall back to one serial call and reproduce the serial stream.
+        from repro.learning.dummy import RandomScoreClassifier
+
+        features = workload.query.features()
+        labels = workload.query.ground_truth_labels()
+        serial = RandomScoreClassifier(seed=42).fit(features, labels).predict_scores(features)
+        fresh = RandomScoreClassifier(seed=42).fit(features, labels)
+        chunked = predict_scores_chunked(fresh, features, workers=2, chunk_size=50)
+        np.testing.assert_array_equal(serial, chunked)

@@ -1,6 +1,5 @@
 """Tests for the experiment drivers (tiny scale, structural checks)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (
@@ -41,9 +40,10 @@ class TestCommonHelpers:
             classifier_factory("svm")
 
     def test_make_trial_function_unknown_method(self):
-        trial = make_trial_function("bogus")
+        # Specs validate eagerly: an unknown method fails at construction,
+        # before any budget is spent.
         with pytest.raises(ValueError):
-            trial(None, np.random.default_rng(0), 10)
+            make_trial_function("bogus")
 
 
 class TestTable1:
@@ -65,7 +65,10 @@ class TestFigureDrivers:
 
     def test_figure3_overhead_rows(self):
         rows = run_figure3_overhead(
-            MICRO_SCALE, sample_fractions=(0.05,), trials_per_point=1, predicate_cost_seconds=0.0005
+            MICRO_SCALE,
+            sample_fractions=(0.05,),
+            trials_per_point=1,
+            predicate_cost_seconds=0.0005,
         )
         assert len(rows) == 1
         row = rows[0]

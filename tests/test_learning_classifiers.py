@@ -151,11 +151,17 @@ class TestRandomForest:
     def test_more_trees_reduce_score_variance_across_seeds(self, separable_data):
         features, labels = separable_data
         few = [
-            RandomForestClassifier(n_estimators=2, seed=s).fit(features, labels).predict_scores(features).mean()
+            RandomForestClassifier(n_estimators=2, seed=s)
+            .fit(features, labels)
+            .predict_scores(features)
+            .mean()
             for s in range(5)
         ]
         many = [
-            RandomForestClassifier(n_estimators=20, seed=s).fit(features, labels).predict_scores(features).mean()
+            RandomForestClassifier(n_estimators=20, seed=s)
+            .fit(features, labels)
+            .predict_scores(features)
+            .mean()
             for s in range(5)
         ]
         assert np.var(many) <= np.var(few) + 1e-6

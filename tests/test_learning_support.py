@@ -161,7 +161,9 @@ class TestActiveLearning:
 
     def test_augmentation_grows_training_set(self, separable_data):
         features, labels_all = separable_data
-        oracle = lambda idx: labels_all[np.asarray(idx, dtype=int)]
+        def oracle(idx):
+            return labels_all[np.asarray(idx, dtype=int)]
+
         initial = np.arange(0, 40)
         result = augment_training_set(
             KNeighborsClassifier(n_neighbors=3),
@@ -180,7 +182,9 @@ class TestActiveLearning:
 
     def test_augmentation_batches_are_new_objects(self, separable_data):
         features, labels_all = separable_data
-        oracle = lambda idx: labels_all[np.asarray(idx, dtype=int)]
+        def oracle(idx):
+            return labels_all[np.asarray(idx, dtype=int)]
+
         initial = np.arange(0, 30)
         result = augment_training_set(
             KNeighborsClassifier(n_neighbors=3),
@@ -197,7 +201,9 @@ class TestActiveLearning:
 
     def test_augmentation_improves_or_maintains_accuracy(self, separable_data):
         features, labels_all = separable_data
-        oracle = lambda idx: labels_all[np.asarray(idx, dtype=int)]
+        def oracle(idx):
+            return labels_all[np.asarray(idx, dtype=int)]
+
         rng = np.random.default_rng(3)
         initial = rng.choice(features.shape[0], size=20, replace=False)
         base = KNeighborsClassifier(n_neighbors=3)

@@ -1,6 +1,5 @@
 """Tests for the sqlite3 backend: SQL and numpy predicates must agree."""
 
-import numpy as np
 import pytest
 
 from repro.query.predicates import NeighborCountPredicate, SkybandPredicate

@@ -122,7 +122,9 @@ class TestWeightedSampling:
             for s in spawn_seeds(17, 60)
         ]
         bad = [
-            estimator.estimate(np.arange(300), random_scores, make_oracle(labels), 40, seed=s).count
+            estimator.estimate(
+                np.arange(300), random_scores, make_oracle(labels), 40, seed=s
+            ).count
             for s in spawn_seeds(19, 60)
         ]
         assert np.var(good) < np.var(bad)

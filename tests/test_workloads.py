@@ -63,7 +63,13 @@ class TestWorkloadConstruction:
 class TestSummarizeEstimates:
     def make_estimates(self, counts):
         return [
-            CountEstimate(count=c, proportion=c / 100, population_size=100, predicate_evaluations=10, method="x")
+            CountEstimate(
+                count=c,
+                proportion=c / 100,
+                population_size=100,
+                predicate_evaluations=10,
+                method="x",
+            )
             for c in counts
         ]
 
