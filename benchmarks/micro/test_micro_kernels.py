@@ -1,0 +1,51 @@
+"""Micro-benchmarks for the vectorized kernels, under pytest-benchmark.
+
+Each benchmark reuses the seeded workloads from ``benchmarks/run_micro.py``
+at small scale: it times the vectorized kernel with pytest-benchmark while
+the underlying helper asserts that the kernel's output is identical to the
+retained ``*_reference`` scalar implementation.  The JSON perf trajectory
+(``BENCH_micro.json``) is produced by ``python benchmarks/run_micro.py``;
+these tests keep the kernels and their references honest on every full-tier
+run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+_BENCHMARKS_DIR = pathlib.Path(__file__).parent.parent
+if str(_BENCHMARKS_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCHMARKS_DIR))
+
+import run_micro  # noqa: E402
+
+pytestmark = [pytest.mark.slow, pytest.mark.benchmark]
+
+
+@pytest.mark.parametrize("bench", run_micro.BENCHMARKS, ids=lambda b: b.__name__)
+def test_kernel_matches_reference_and_times(bench, benchmark):
+    """Time one kernel at small scale; the helper asserts reference equality."""
+    entry = benchmark.pedantic(bench, kwargs={"scale": "small", "repeats": 1}, rounds=1,
+                               iterations=1)
+    assert entry["kernel_seconds"] > 0
+    assert entry["reference_seconds"] > 0
+
+
+def test_trajectory_document_shape(tmp_path):
+    """The driver writes a well-formed BENCH_micro.json trajectory document."""
+    output = tmp_path / "BENCH_micro.json"
+    exit_code = run_micro.main(["--scale", "small", "--repeats", "1", "--output", str(output)])
+    import json
+
+    document = json.loads(output.read_text())
+    assert document["suite"] == "micro-kernels"
+    names = {entry["name"] for entry in document["benchmarks"]}
+    assert {"grid_count_within_bulk", "dirsol_design", "dynpgm_design"} <= names
+    for entry in document["benchmarks"]:
+        assert entry["speedup"] > 0
+    # Missed speedup floors are record-only (`meets_target` in the document);
+    # a non-zero exit could only come from kernel divergence, which raises.
+    assert exit_code == 0

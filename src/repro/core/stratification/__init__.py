@@ -28,8 +28,8 @@ from repro.core.stratification.design import (
     proportional_objective,
     smoothed_bernoulli_std,
 )
-from repro.core.stratification.dirsol import dirsol_design
-from repro.core.stratification.dynpgm import dynpgm_design
+from repro.core.stratification.dirsol import dirsol_design, dirsol_design_reference
+from repro.core.stratification.dynpgm import dynpgm_design, dynpgm_design_reference
 from repro.core.stratification.dynpgm_prop import dynpgm_proportional_design
 from repro.core.stratification.layouts import (
     brute_force_design,
@@ -43,7 +43,9 @@ __all__ = [
     "StratificationDesign",
     "brute_force_design",
     "dirsol_design",
+    "dirsol_design_reference",
     "dynpgm_design",
+    "dynpgm_design_reference",
     "dynpgm_proportional_design",
     "fixed_height_design",
     "fixed_width_design",

@@ -7,6 +7,14 @@ Section 4.2.1, the algorithm guesses a bound ``t`` on the auxiliary sum
 candidate boundary grid under the constraint ``N_h s_h ≤ t`` for every
 stratum, and keeps the best reconstructed design across all guesses
 (Theorem 3 bounds the resulting approximation factor).
+
+:func:`dynpgm_design` drives the DP through preallocated transition
+buffers, hoists the bound-independent ``N_h·s_h`` matrices out of the grid
+loop, and — because the ``N_h s_h ≤ t`` masks grow monotonically with the
+guessed bound — deduplicates grid guesses that admit exactly the same
+candidate strata, so each distinct DP is solved once instead of once per
+guess.  The original per-guess implementation is retained as
+:func:`dynpgm_design_reference`; both return byte-identical designs.
 """
 
 from __future__ import annotations
@@ -34,6 +42,51 @@ def _auxiliary_sum_grid(population_size: int, num_strata: int, ratio: float) -> 
     upper = max(num_strata * population_size, 2)
     count = int(np.ceil(np.log(upper) / np.log(1.0 + ratio))) + 1
     return (1.0 + ratio) ** np.arange(count + 1)
+
+
+def _validate_arguments(num_strata: int, second_stage_samples: int, grid_ratio: float) -> None:
+    if num_strata <= 0:
+        raise ValueError("num_strata must be positive")
+    if second_stage_samples <= 0:
+        raise ValueError("second_stage_samples must be positive")
+    if grid_ratio <= 0:
+        raise ValueError("grid_ratio must be positive")
+
+
+_NO_FEASIBLE_STRATIFICATION = (
+    "no feasible stratification satisfies the minimum-size constraints; "
+    "reduce num_strata or the minimums"
+)
+
+
+def _candidate_statistics(
+    pilot: PilotSample,
+    second_stage_samples: int,
+    min_stratum_size: int,
+    min_pilot_per_stratum: int,
+    include_backward: bool,
+    max_candidates: int | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Candidate cuts plus the (cost, weight, feasibility) stratum matrices."""
+    cuts = candidate_boundary_cuts(pilot, include_backward, max_candidates)
+    num_cuts = cuts.size
+    ranks = pilot.ranks_at(cuts)
+    gamma_at = pilot.gamma[ranks]
+    sizes = (cuts[None, :] - cuts[:, None]).astype(np.float64)
+    pilot_counts = ranks[None, :] - ranks[:, None]
+    positives = gamma_at[None, :] - gamma_at[:, None]
+    variances = bernoulli_variance_estimate(positives, pilot_counts)
+    deviations = np.sqrt(variances)
+
+    weighted = sizes * deviations  # N_h s_h for every candidate stratum
+    n = float(second_stage_samples)
+    base_cost = weighted**2 / n - sizes * variances
+    feasible = (
+        (sizes >= min_stratum_size)
+        & (pilot_counts >= min_pilot_per_stratum)
+        & np.triu(np.ones((num_cuts, num_cuts), dtype=bool), k=1)
+    )
+    return cuts, weighted, base_cost, feasible
 
 
 def dynpgm_design(
@@ -64,35 +117,125 @@ def dynpgm_design(
         is the exact eq.-5 objective of the reconstructed cuts, not the DP's
         internal bound).
     """
-    if num_strata <= 0:
-        raise ValueError("num_strata must be positive")
-    if second_stage_samples <= 0:
-        raise ValueError("second_stage_samples must be positive")
-    if grid_ratio <= 0:
-        raise ValueError("grid_ratio must be positive")
+    _validate_arguments(num_strata, second_stage_samples, grid_ratio)
     if min_stratum_size is None:
         min_stratum_size = default_minimum_stratum_size(
             pilot.population_size, second_stage_samples, num_strata
         )
 
-    cuts = candidate_boundary_cuts(pilot, include_backward, max_candidates)
-    num_cuts = cuts.size
-    ranks = pilot.ranks_at(cuts)
-    gamma_at = pilot.gamma[ranks]
-    sizes = (cuts[None, :] - cuts[:, None]).astype(np.float64)
-    pilot_counts = ranks[None, :] - ranks[:, None]
-    positives = gamma_at[None, :] - gamma_at[:, None]
-    variances = bernoulli_variance_estimate(positives, pilot_counts)
-    deviations = np.sqrt(variances)
-
-    weighted = sizes * deviations  # N_h s_h for every candidate stratum
-    n = float(second_stage_samples)
-    base_cost = weighted**2 / n - sizes * variances
-    feasible = (
-        (sizes >= min_stratum_size)
-        & (pilot_counts >= min_pilot_per_stratum)
-        & np.triu(np.ones((num_cuts, num_cuts), dtype=bool), k=1)
+    cuts, weighted, base_cost, feasible = _candidate_statistics(
+        pilot,
+        second_stage_samples,
+        min_stratum_size,
+        min_pilot_per_stratum,
+        include_backward,
+        max_candidates,
     )
+    num_cuts = cuts.size
+    n = float(second_stage_samples)
+    final_index = num_cuts - 1
+
+    feasible_weights = np.sort(weighted[feasible])
+    if feasible_weights.size == 0:
+        raise ValueError(_NO_FEASIBLE_STRATIFICATION)
+
+    # Preallocated DP transition buffers, reused across guesses and levels.
+    cost = np.empty((num_cuts, num_cuts))
+    scaled_weight = np.empty((num_cuts, num_cuts))
+    totals = np.empty((num_cuts, num_cuts))
+    cross_term = np.empty((num_cuts, num_cuts))
+    column_range = np.arange(num_cuts)
+
+    best_design: StratificationDesign | None = None
+    admitted_count = -1
+    for bound in _auxiliary_sum_grid(pilot.population_size, num_strata, grid_ratio):
+        # The mask {weighted <= bound} grows monotonically with the bound, so
+        # two guesses admitting the same number of feasible strata admit the
+        # *same* strata and would reconstruct the same design: solve once.
+        admitted = int(np.searchsorted(feasible_weights, bound, side="right"))
+        if admitted == admitted_count:
+            continue
+        admitted_count = admitted
+        allowed = feasible & (weighted <= bound)
+        if not allowed[:, final_index].any():
+            continue
+        np.copyto(cost, base_cost)
+        cost[~allowed] = np.inf
+        # Bound-independent cross-term factor (2/n)·N_h·s_h, masked to the
+        # admitted strata (disallowed entries contribute 0, as in the
+        # reference's np.where).
+        np.multiply(2.0 / n, weighted, out=scaled_weight)
+        scaled_weight[~allowed] = 0.0
+        weight_masked = np.where(allowed, weighted, 0.0)
+
+        value = np.full((num_cuts, num_strata + 1), np.inf)
+        auxiliary = np.zeros((num_cuts, num_strata + 1))
+        parents = np.full((num_cuts, num_strata + 1), -1, dtype=np.int64)
+        value[0, 0] = 0.0
+        for level in range(1, num_strata + 1):
+            previous_value = value[:, level - 1]
+            previous_aux = auxiliary[:, level - 1]
+            # totals[j, i]: extend the best (level-1)-strata solution ending at
+            # candidate j with the stratum [cuts[j], cuts[i]).
+            np.add(previous_value[:, None], cost, out=totals)
+            np.multiply(scaled_weight, previous_aux[:, None], out=cross_term)
+            np.add(totals, cross_term, out=totals)
+            chosen = totals.argmin(axis=0)
+            parents[:, level] = chosen
+            value[:, level] = totals[chosen, column_range]
+            auxiliary[:, level] = previous_aux[chosen] + weight_masked[chosen, column_range]
+
+        chosen_level = None
+        for level in range(num_strata, 0, -1):
+            if np.isfinite(value[final_index, level]):
+                chosen_level = level
+                break
+        if chosen_level is None:
+            continue
+        reconstructed = _reconstruct_cuts(cuts, parents, final_index, chosen_level)
+        candidate = design_from_cuts(
+            pilot, reconstructed, second_stage_samples, "neyman", algorithm="dynpgm"
+        )
+        if best_design is None or candidate.objective_value < best_design.objective_value:
+            best_design = candidate
+
+    if best_design is None:
+        raise ValueError(_NO_FEASIBLE_STRATIFICATION)
+    return best_design
+
+
+def dynpgm_design_reference(
+    pilot: PilotSample,
+    num_strata: int,
+    second_stage_samples: int,
+    min_stratum_size: int | None = None,
+    min_pilot_per_stratum: int = 2,
+    include_backward: bool = True,
+    max_candidates: int | None = 4000,
+    grid_ratio: float = 1.0,
+) -> StratificationDesign:
+    """Original per-guess DynPgm, retained as the equivalence reference.
+
+    Re-runs the full DP for every auxiliary-sum guess with freshly allocated
+    transition matrices — exactly the pre-kernel implementation.
+    :func:`dynpgm_design` must return exactly the design this returns.
+    """
+    _validate_arguments(num_strata, second_stage_samples, grid_ratio)
+    if min_stratum_size is None:
+        min_stratum_size = default_minimum_stratum_size(
+            pilot.population_size, second_stage_samples, num_strata
+        )
+
+    cuts, weighted, base_cost, feasible = _candidate_statistics(
+        pilot,
+        second_stage_samples,
+        min_stratum_size,
+        min_pilot_per_stratum,
+        include_backward,
+        max_candidates,
+    )
+    num_cuts = cuts.size
+    n = float(second_stage_samples)
 
     final_index = num_cuts - 1
     best_design: StratificationDesign | None = None
@@ -137,8 +280,5 @@ def dynpgm_design(
             best_design = candidate
 
     if best_design is None:
-        raise ValueError(
-            "no feasible stratification satisfies the minimum-size constraints; "
-            "reduce num_strata or the minimums"
-        )
+        raise ValueError(_NO_FEASIBLE_STRATIFICATION)
     return best_design

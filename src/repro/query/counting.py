@@ -160,7 +160,12 @@ class CountingQuery:
         if self.cache_labels:
             labels = self._all_labels()[indices]
         else:
-            labels = np.asarray(self.predicate.evaluate(self.table, indices), dtype=np.float64)
+            # The vectorized kernel path: label values are byte-identical to
+            # the per-object loop, and each index is still charged as one
+            # predicate evaluation below.
+            labels = np.asarray(
+                self.predicate.evaluate_batch(self.table, indices), dtype=np.float64
+            )
         self._evaluations += int(indices.size)
         self._evaluation_seconds += time.perf_counter() - started
         return labels
@@ -187,6 +192,11 @@ class CountingQuery:
             # Size work units to the data: aim for ~8 chunks, but never make
             # chunks so small that per-call overhead dominates.
             chunk_size = max(256, -(-indices.size // 8))
+        # Defensive clamp: a chunk never needs to exceed the index set
+        # itself.  The slicing below already handles tiny inputs (a single
+        # index lands in exactly one full chunk either way); the clamp makes
+        # that invariant explicit rather than incidental to the 256 floor.
+        chunk_size = min(chunk_size, indices.size)
         parts = [
             self.evaluate(indices[start : start + chunk_size])
             for start in range(0, indices.size, chunk_size)

@@ -5,6 +5,14 @@ evaluation (:meth:`Predicate.evaluate`) deliberately uses the "expensive"
 path — a scan or index probe per object, exactly what a database would do for
 the correlated subquery Q3 — while :meth:`Predicate.evaluate_all` provides a
 bulk fast path used only to obtain exact ground truth for the experiments.
+
+:meth:`Predicate.evaluate_batch` sits between the two: it evaluates a sample
+of objects through vectorized kernels (grid-batched neighbour counting,
+blocked dominance scans) while producing labels that are byte-identical to
+the per-object path — the paper's cost model still charges one evaluation
+per object, the kernels only remove interpreter overhead.  The original
+scalar loops are retained as ``evaluate_reference`` for the equivalence
+tests and micro-benchmarks.
 """
 
 from __future__ import annotations
@@ -15,7 +23,12 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.query.spatial import GridIndex, dominance_count_single, dominance_counts
+from repro.query.spatial import (
+    GridIndex,
+    dominance_count_batch,
+    dominance_count_single,
+    dominance_counts,
+)
 from repro.query.table import Table
 
 
@@ -29,6 +42,16 @@ class Predicate(ABC):
     @abstractmethod
     def evaluate(self, table: Table, indices: np.ndarray) -> np.ndarray:
         """Evaluate ``q`` object by object; returns a 0/1 array."""
+
+    def evaluate_batch(self, table: Table, indices: np.ndarray) -> np.ndarray:
+        """Evaluate ``q`` on a batch of objects through a vectorized kernel.
+
+        The default implementation falls back to the per-object path;
+        concrete predicates override it when a batched kernel can produce
+        identical labels.  Cost accounting is unaffected — callers still
+        charge one evaluation per index.
+        """
+        return self.evaluate(table, indices)
 
     def evaluate_all(self, table: Table) -> np.ndarray:
         """Bulk-evaluate ``q`` on every row (used for exact ground truth).
@@ -82,6 +105,16 @@ class NeighborCountPredicate(Predicate):
         return self._index_cache[1]
 
     def evaluate(self, table: Table, indices: np.ndarray) -> np.ndarray:
+        return self.evaluate_batch(table, indices)
+
+    def evaluate_batch(self, table: Table, indices: np.ndarray) -> np.ndarray:
+        grid = self._grid(table)
+        indices = np.asarray(indices, dtype=np.int64)
+        neighbours = grid.count_within_batch(indices, self.distance, exclude_self=True)
+        return (neighbours <= self.max_neighbors).astype(np.float64)
+
+    def evaluate_reference(self, table: Table, indices: np.ndarray) -> np.ndarray:
+        """Original per-object probe loop, kept for equivalence checks."""
         grid = self._grid(table)
         indices = np.asarray(indices, dtype=np.int64)
         labels = np.empty(indices.size, dtype=np.float64)
@@ -128,6 +161,16 @@ class SkybandPredicate(Predicate):
         return self._points_cache[1]
 
     def evaluate(self, table: Table, indices: np.ndarray) -> np.ndarray:
+        return self.evaluate_batch(table, indices)
+
+    def evaluate_batch(self, table: Table, indices: np.ndarray) -> np.ndarray:
+        points = self._points(table)
+        indices = np.asarray(indices, dtype=np.int64)
+        dominators = dominance_count_batch(points, indices)
+        return (dominators < self.k).astype(np.float64)
+
+    def evaluate_reference(self, table: Table, indices: np.ndarray) -> np.ndarray:
+        """Original per-object scan loop, kept for equivalence checks."""
         points = self._points(table)
         indices = np.asarray(indices, dtype=np.int64)
         labels = np.empty(indices.size, dtype=np.float64)

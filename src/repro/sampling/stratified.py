@@ -147,6 +147,34 @@ def _sample_variance(labels: np.ndarray) -> float:
     return float(labels.var(ddof=1))
 
 
+def _evaluate_per_stratum(
+    oracle: LabelOracle, per_stratum_indices: Sequence[np.ndarray]
+) -> list[np.ndarray]:
+    """Evaluate the oracle once over the concatenated per-stratum samples.
+
+    One batched oracle call replaces one call per stratum, which lets
+    vectorized predicates (:meth:`repro.query.predicates.Predicate
+    .evaluate_batch`) amortise their kernel overhead across every stratum.
+    The labels are split back per stratum, so callers observe exactly the
+    per-stratum arrays the stratum-by-stratum loop produced; strata with
+    nothing drawn never reach the oracle.
+    """
+    total = sum(drawn.size for drawn in per_stratum_indices)
+    if total == 0:
+        return [np.empty(0) for _ in per_stratum_indices]
+    flat = np.concatenate(per_stratum_indices)
+    labels = evaluate_labels(oracle, flat)
+    split: list[np.ndarray] = []
+    offset = 0
+    for drawn in per_stratum_indices:
+        if drawn.size:
+            split.append(labels[offset : offset + drawn.size])
+            offset += drawn.size
+        else:
+            split.append(np.empty(0))
+    return split
+
+
 class StratifiedSampling:
     """Stratified estimator of a count over a given partition.
 
@@ -202,6 +230,89 @@ class StratifiedSampling:
         This implements the standard stratified estimator and its variance
         (eq. 1 in the paper): ``p̂ = Σ W_h p̂_h`` with
         ``V̂ar(p̂) = Σ W_h² (1 - n_h/N_h) s_h² / n_h``.
+
+        Per-stratum means come from one ``add.reduceat`` pass over the
+        concatenated labels — exact for 0/1 labels, whose sums are integers
+        regardless of summation order — and the weight/FPC combination is one
+        elementwise expression over the active strata.  The per-stratum
+        ``np.var`` call and the sequential accumulation over strata are kept
+        on purpose: both are sensitive to summation order at the last ulp,
+        and reproducing them exactly keeps the estimate byte-identical to
+        :meth:`estimate_from_samples_reference` (the pre-kernel scalar loop).
+        """
+        sizes = partition.sizes
+        population = int(sizes.sum())
+        if population == 0:
+            raise ValueError("cannot estimate over an empty partition")
+        weights = sizes / population
+
+        labels_list = [np.asarray(labels, dtype=np.float64) for labels in stratum_labels]
+        label_counts = np.array([labels.size for labels in labels_list], dtype=np.int64)
+        # A stratum participates only when it is non-empty and sampled; an
+        # unsampled, non-empty stratum contributes its weight with an
+        # uninformative prior of 0 (the allocator avoids this case whenever
+        # the budget allows).
+        active = (sizes > 0) & (label_counts > 0)
+        active_indices = np.flatnonzero(active)
+
+        if active_indices.size:
+            active_counts = label_counts[active_indices]
+            flat = np.concatenate([labels_list[index] for index in active_indices])
+            starts = np.concatenate([[0], np.cumsum(active_counts[:-1])])
+            sums = np.add.reduceat(flat, starts)
+            means = sums / active_counts
+            variances = np.array(
+                [_sample_variance(labels_list[index]) for index in active_indices]
+            )
+            active_weights = weights[active_indices]
+            finite_corrections = 1.0 - active_counts / sizes[active_indices]
+            mean_terms = active_weights * means
+            # Scalar ``**`` on purpose: NumPy squares float64 scalars through
+            # libm pow but arrays through a multiply fast path, and the two
+            # can differ in the last ulp; the scalar loop reproduces the
+            # reference bitwise.
+            weight_squares = np.array([weight**2 for weight in active_weights])
+            variance_terms = weight_squares * finite_corrections * variances / active_counts
+        else:
+            mean_terms = np.empty(0)
+            variance_terms = np.empty(0)
+
+        # Accumulate in stratum order, exactly as the scalar loop did.
+        proportion = 0.0
+        variance = 0.0
+        for term, var_term in zip(mean_terms, variance_terms):
+            proportion += term
+            variance += var_term
+        total_sampled = int(label_counts[active_indices].sum()) if active_indices.size else 0
+
+        degrees_of_freedom = max(total_sampled - partition.num_strata, 1)
+        interval = stratified_t_interval(
+            proportion, variance, degrees_of_freedom, self.confidence
+        )
+        return CountEstimate(
+            count=proportion * population,
+            proportion=proportion,
+            population_size=population,
+            predicate_evaluations=(
+                predicate_evaluations if predicate_evaluations is not None else total_sampled
+            ),
+            method=method or self.method_name,
+            interval=interval,
+            variance=variance,
+            details=details or {},
+        )
+
+    def estimate_from_samples_reference(
+        self,
+        partition: StrataPartition,
+        stratum_labels: Sequence[np.ndarray],
+        predicate_evaluations: int | None = None,
+        method: str | None = None,
+        details: dict | None = None,
+    ) -> CountEstimate:
+        """Original per-stratum scalar loop, kept as the equivalence reference.
+
+        :meth:`estimate_from_samples` must produce byte-identical estimates.
         """
         sizes = partition.sizes
         population = int(sizes.sum())
@@ -217,9 +328,6 @@ class StratifiedSampling:
             if size == 0:
                 continue
             if labels.size == 0:
-                # An unsampled, non-empty stratum contributes its weight with
-                # an uninformative prior of 0; the allocator avoids this case
-                # whenever the budget allows.
                 continue
             stratum_mean = float(labels.mean())
             stratum_var = _sample_variance(labels)
@@ -266,19 +374,18 @@ class StratifiedSampling:
         """
         rng = resolve_rng(seed)
         allocation = self.allocate(partition, sample_size, stratum_stds)
-        stratum_labels: list[np.ndarray] = []
+        # Draw every stratum's sample first (the RNG consumption order is the
+        # contract that keeps seeded runs reproducible), then evaluate the
+        # expensive predicate once over the concatenated sample so batched
+        # oracles amortise their per-call overhead.
         sampled_indices: list[np.ndarray] = []
-        evaluations = 0
         for stratum, n_h in zip(partition.strata, allocation.counts):
             if stratum.size == 0 or n_h == 0:
-                stratum_labels.append(np.empty(0))
                 sampled_indices.append(np.empty(0, dtype=np.int64))
                 continue
-            drawn = sample_without_replacement(stratum, int(n_h), seed=rng)
-            labels = evaluate_labels(oracle, drawn)
-            stratum_labels.append(labels)
-            sampled_indices.append(drawn)
-            evaluations += drawn.size
+            sampled_indices.append(sample_without_replacement(stratum, int(n_h), seed=rng))
+        stratum_labels = _evaluate_per_stratum(oracle, sampled_indices)
+        evaluations = sum(drawn.size for drawn in sampled_indices)
         return self.estimate_from_samples(
             partition,
             stratum_labels,
@@ -335,18 +442,15 @@ class TwoStageNeymanSampling:
         )
         pilot_allocation = proportional.allocate(partition, pilot_budget)
 
-        pilot_labels: list[np.ndarray] = []
         pilot_indices: list[np.ndarray] = []
         for stratum, n_h in zip(partition.strata, pilot_allocation.counts):
             if stratum.size == 0 or n_h == 0:
-                pilot_labels.append(np.empty(0))
                 pilot_indices.append(np.empty(0, dtype=np.int64))
                 continue
-            drawn = sample_without_replacement(stratum, int(n_h), seed=rng)
-            pilot_indices.append(drawn)
-            pilot_labels.append(evaluate_labels(oracle, drawn))
+            pilot_indices.append(sample_without_replacement(stratum, int(n_h), seed=rng))
+        pilot_labels = _evaluate_per_stratum(oracle, pilot_indices)
 
-        stds = np.array([np.sqrt(_sample_variance(labels)) for labels in pilot_labels])
+        stds = np.sqrt(np.array([_sample_variance(labels) for labels in pilot_labels]))
         remaining_sizes = np.array(
             [s.size - drawn.size for s, drawn in zip(partition.strata, pilot_indices)],
             dtype=np.int64,
@@ -359,21 +463,30 @@ class TwoStageNeymanSampling:
         # extra samples a stratum receives depends on its pilot labels, so
         # reusing the pilot would bias strata whose pilot happened to be pure
         # (most visibly, an all-negative pilot would freeze the stratum at
-        # exactly zero).  The pilot only informs the allocation.
-        combined_labels: list[np.ndarray] = []
-        evaluations = 0
-        for stratum, drawn, labels, n_h in zip(
-            partition.strata, pilot_indices, pilot_labels, second_allocation.counts
+        # exactly zero).  The pilot only informs the allocation.  As in stage
+        # one, all strata are drawn first (fixed RNG order) and the oracle is
+        # invoked once over the concatenated draw.
+        extra_indices: list[np.ndarray] = []
+        for stratum, drawn, n_h in zip(
+            partition.strata, pilot_indices, second_allocation.counts
         ):
-            evaluations += drawn.size
             if n_h > 0:
                 remaining = np.setdiff1d(stratum, drawn, assume_unique=False)
-                extra = sample_without_replacement(
-                    remaining, int(min(n_h, remaining.size)), seed=rng
+                extra_indices.append(
+                    sample_without_replacement(remaining, int(min(n_h, remaining.size)), seed=rng)
                 )
-                extra_labels = evaluate_labels(oracle, extra)
-                evaluations += extra.size
-                combined_labels.append(extra_labels)
+            else:
+                extra_indices.append(np.empty(0, dtype=np.int64))
+        extra_labels = _evaluate_per_stratum(oracle, extra_indices)
+
+        combined_labels: list[np.ndarray] = []
+        evaluations = 0
+        for drawn, labels, extra, fresh, n_h in zip(
+            pilot_indices, pilot_labels, extra_indices, extra_labels, second_allocation.counts
+        ):
+            evaluations += drawn.size + extra.size
+            if n_h > 0:
+                combined_labels.append(fresh)
             else:
                 # Degenerate budget: keep the pilot labels rather than leaving
                 # the stratum unobserved.

@@ -65,6 +65,21 @@ class TestWorkflowStructure:
         test_step = next(s for s in full["steps"] if "pytest" in str(s.get("run", "")))
         assert "benchmarks" in test_step["run"]
 
+    def test_full_job_tracks_micro_benchmarks(self, workflow):
+        # The nightly/label-gated tier runs the kernel micro-benchmarks and
+        # archives the BENCH_micro.json perf trajectory as an artifact.
+        steps = workflow["jobs"]["full"]["steps"]
+        micro_step = next(
+            s for s in steps if "benchmarks/run_micro.py" in str(s.get("run", ""))
+        )
+        assert "BENCH_micro.json" in micro_step["run"]
+        uploads = [
+            s
+            for s in steps
+            if str(s.get("uses", "")).startswith("actions/upload-artifact")
+        ]
+        assert any("BENCH_micro.json" in str(s.get("with", {}).get("path", "")) for s in uploads)
+
     def test_jobs_pin_timeouts(self, workflow):
         for name, job in workflow["jobs"].items():
             assert "timeout-minutes" in job, f"job {name} has no timeout"

@@ -50,6 +50,53 @@ class TestEvaluateBatch:
         with pytest.raises(ValueError, match="chunk_size"):
             workload.query.evaluate_batch(np.arange(4), chunk_size=0)
 
+    def test_single_element_default_chunking(self, uncached_workload):
+        # Default chunk sizing is computed from a 256 floor, so it used to
+        # exceed tiny index sets and only slicing semantics kept the chunk
+        # sequence right.  The clamp makes the invariant explicit; this test
+        # pins it: a single-element array is exactly one full chunk, never an
+        # empty or oversized one.
+        chunk_sizes: list[int] = []
+        query = uncached_workload.query
+        original_evaluate = query.evaluate
+
+        def recording_evaluate(indices):
+            chunk_sizes.append(np.asarray(indices).size)
+            return original_evaluate(indices)
+
+        query.evaluate = recording_evaluate
+        try:
+            with query.fresh_accounting():
+                single = query.evaluate_batch(np.array([7]))
+                assert query.evaluations == 1
+        finally:
+            query.evaluate = original_evaluate
+        assert single.shape == (1,)
+        assert chunk_sizes == [1]
+        with query.fresh_accounting():
+            np.testing.assert_array_equal(single, query.evaluate(np.array([7])))
+
+    def test_small_batches_never_produce_empty_chunks(self, uncached_workload):
+        query = uncached_workload.query
+        for size in (1, 2, 7, 255, 256, 257):
+            chunk_sizes: list[int] = []
+            original_evaluate = query.evaluate
+
+            def recording_evaluate(indices):
+                chunk_sizes.append(np.asarray(indices).size)
+                return original_evaluate(indices)
+
+            query.evaluate = recording_evaluate
+            try:
+                with query.fresh_accounting():
+                    labels = query.evaluate_batch(np.arange(size))
+                    assert query.evaluations == size
+            finally:
+                query.evaluate = original_evaluate
+            assert labels.size == size
+            assert all(chunk > 0 for chunk in chunk_sizes)
+            assert sum(chunk_sizes) == size
+
 
 class TestLabelCacheSharing:
     def test_export_then_attach(self, workload):
