@@ -266,10 +266,18 @@ class LearnedStratifiedSampling:
         query: CountingQuery,
         budget: int,
         seed: SeedLike = None,
+        backend: str | None = None,
     ) -> CountEstimate:
-        """Estimate ``C(O, q)`` spending at most ``budget`` predicate calls."""
+        """Estimate ``C(O, q)`` spending at most ``budget`` predicate calls.
+
+        ``backend`` optionally reruns the query on another execution backend
+        (see :mod:`repro.query.backends`); the estimate is byte-identical
+        whichever backend executes — only where the predicate runs changes.
+        """
         if budget < 8:
             raise ValueError("budget must be at least 8 predicate evaluations")
+        if backend is not None:
+            query = query.with_backend(backend)
         budget = min(budget, query.num_objects)
         rng = resolve_rng(seed)
         total_started = time.perf_counter()

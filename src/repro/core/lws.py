@@ -64,10 +64,18 @@ class LearnedWeightedSampling:
         query: CountingQuery,
         budget: int,
         seed: SeedLike = None,
+        backend: str | None = None,
     ) -> CountEstimate:
-        """Estimate ``C(O, q)`` spending at most ``budget`` predicate calls."""
+        """Estimate ``C(O, q)`` spending at most ``budget`` predicate calls.
+
+        ``backend`` optionally reruns the query on another execution backend
+        (see :mod:`repro.query.backends`); the estimate is byte-identical
+        whichever backend executes — only where the predicate runs changes.
+        """
         if budget < 4:
             raise ValueError("budget must be at least 4 predicate evaluations")
+        if backend is not None:
+            query = query.with_backend(backend)
         budget = min(budget, query.num_objects)
         rng = resolve_rng(seed)
         evaluations_before = query.evaluations

@@ -73,6 +73,7 @@ def learn_to_sample(
     method: str = "lss",
     seed: SeedLike = None,
     num_strata: int = 4,
+    backend: str | None = None,
     **estimator_options: Any,
 ) -> LearnToSampleResult:
     """Estimate a counting query with the chosen method.
@@ -85,6 +86,9 @@ def learn_to_sample(
             ``"srs"``, ``"ssp"``, ``"ssn"``.
         seed: RNG seed or generator.
         num_strata: number of strata for the stratified methods.
+        backend: optional query-backend override (spec string, see
+            :mod:`repro.query.backends`); the estimate is byte-identical
+            whichever backend executes the predicate.
         **estimator_options: forwarded to the chosen estimator's constructor.
 
     Returns:
@@ -94,6 +98,8 @@ def learn_to_sample(
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
     if budget <= 0:
         raise ValueError("budget must be positive")
+    if backend is not None:
+        query = query.with_backend(backend)
 
     if method == "lss":
         estimator = LearnedStratifiedSampling(num_strata=num_strata, **estimator_options)

@@ -1,0 +1,131 @@
+"""Opt-in on-disk cache for the generated seeded datasets.
+
+Dataset generation is deterministic but not free (tens of millions of RNG
+draws at the paper's full sizes), and CI regenerates the same seeded tables
+in every job of the matrix.  When the ``REPRO_DATASET_CACHE`` environment
+variable names a directory, :func:`cached_table` memoises generator output
+there as ``.npz`` archives keyed by the generator's parameters, so the CI
+workflow can persist the directory between jobs with ``actions/cache``
+(keyed on the dataset modules' content hash — any generator change
+invalidates the whole cache).
+
+float64/int64 columns round-trip bit-exactly through ``.npz``, so a cache
+hit is byte-identical to regeneration; a version stamp guards against layout
+changes, and unreadable or stale entries fall back to regeneration instead
+of failing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.query.table import Table
+
+#: Environment variable naming the cache directory; unset disables caching.
+CACHE_ENV_VAR = "REPRO_DATASET_CACHE"
+
+#: Bump when the archive layout changes; stamped into every cache key.
+CACHE_FORMAT_VERSION = 1
+
+_ORDER_KEY = "__column_order__"
+
+
+def dataset_cache_dir() -> Path | None:
+    """The active cache directory, or ``None`` when caching is disabled."""
+    root = os.environ.get(CACHE_ENV_VAR, "").strip()
+    return Path(root) if root else None
+
+
+def _cache_key(kind: str, parameters: Mapping[str, object]) -> str:
+    normalised = {
+        key: (
+            int(value)
+            if isinstance(value, np.integer)
+            else float(value)
+            if isinstance(value, np.floating)
+            else value
+        )
+        for key, value in parameters.items()
+    }
+    payload = json.dumps(
+        {"kind": kind, "version": CACHE_FORMAT_VERSION, "parameters": normalised},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def _load(path: Path, name: str) -> Table | None:
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            order = [str(column) for column in archive[_ORDER_KEY]]
+            columns = {column: archive[column] for column in order}
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+        # Covers every way a cache entry goes bad: unreadable file, missing
+        # archive members, non-zip garbage (ValueError) and zip-magic files
+        # with a corrupt directory (BadZipFile, which is not an OSError).
+        return None
+    return Table(columns, name=name)
+
+
+def _store(path: Path, table: Table) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {name: table.column(name) for name in table.column_names}
+    payload[_ORDER_KEY] = np.array(table.column_names)
+    # Write-then-rename keeps concurrent matrix jobs from ever observing a
+    # half-written archive.  A failed write is never fatal (the cache is an
+    # optimisation) but must not strand temp files for actions/cache to
+    # persist, so cleanup runs on every exit path.
+    handle, temporary = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")
+    try:
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                np.savez(stream, **payload)
+            os.replace(temporary, path)
+        finally:
+            if os.path.exists(temporary):
+                os.unlink(temporary)
+    except OSError:
+        pass
+
+
+def cached_table(
+    kind: str,
+    parameters: Mapping[str, object],
+    builder: Callable[[], Table],
+    name: str,
+) -> Table:
+    """Return the memoised table for ``(kind, parameters)`` or build it.
+
+    Caching only engages when :data:`CACHE_ENV_VAR` is set *and* every
+    parameter is plain data (an RNG ``Generator`` seed, for example, has no
+    stable key and bypasses the cache).  The table's ``name`` is not part of
+    the key — the same rows materialised under a different name reuse the
+    same archive.
+    """
+    root = dataset_cache_dir()
+    if root is None or not _is_plain(parameters):
+        return builder()
+    path = root / f"{kind}-{_cache_key(kind, parameters)}.npz"
+    if path.is_file():
+        table = _load(path, name)
+        if table is not None:
+            return table
+    table = builder()
+    _store(path, table)
+    return table
+
+
+def _is_plain(parameters: Mapping[str, object]) -> bool:
+    return all(
+        value is None
+        or isinstance(value, (bool, int, float, str, np.integer, np.floating))
+        for value in parameters.values()
+    )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.datasets.cache import cached_table
 from repro.query.table import Table
 from repro.sampling.rng import SeedLike, resolve_rng
 
@@ -50,6 +51,26 @@ def generate_neighbors_table(
         raise ValueError("anomaly_fraction must lie in [0, 1)")
     if num_clusters <= 0:
         raise ValueError("num_clusters must be positive")
+    return cached_table(
+        "neighbors",
+        {
+            "num_rows": num_rows,
+            "seed": seed,
+            "num_clusters": num_clusters,
+            "anomaly_fraction": anomaly_fraction,
+        },
+        lambda: _generate(num_rows, seed, num_clusters, anomaly_fraction, name),
+        name=name,
+    )
+
+
+def _generate(
+    num_rows: int,
+    seed: SeedLike,
+    num_clusters: int,
+    anomaly_fraction: float,
+    name: str,
+) -> Table:
     rng = resolve_rng(seed)
 
     num_anomalies = int(round(anomaly_fraction * num_rows))

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.datasets.cache import cached_table
 from repro.query.table import Table
 from repro.sampling.rng import SeedLike, resolve_rng
 
@@ -39,6 +40,15 @@ def generate_sports_table(
     """
     if num_rows <= 0:
         raise ValueError("num_rows must be positive")
+    return cached_table(
+        "sports",
+        {"num_rows": num_rows, "seed": seed},
+        lambda: _generate(num_rows, seed, name),
+        name=name,
+    )
+
+
+def _generate(num_rows: int, seed: SeedLike, name: str) -> Table:
     rng = resolve_rng(seed)
 
     # Latent "pitcher quality" and "workload" factors drive the correlated

@@ -30,11 +30,21 @@ __all__ = [
 
 
 def build_scaled_workload(
-    dataset: str, level: str | float, scale: ExperimentScale, cache_labels: bool = True
+    dataset: str,
+    level: str | float,
+    scale: ExperimentScale,
+    cache_labels: bool = True,
+    backend: str = "numpy",
 ) -> Workload:
-    """Build a workload at the scale's configured size."""
+    """Build a workload at the scale's configured size.
+
+    ``backend`` selects the query-execution backend (see
+    :mod:`repro.query.backends`); results are byte-identical across backends.
+    """
     num_rows = scale.sports_rows if dataset == "sports" else scale.neighbors_rows
-    return build_workload(dataset, level=level, num_rows=num_rows, cache_labels=cache_labels)
+    return build_workload(
+        dataset, level=level, num_rows=num_rows, cache_labels=cache_labels, backend=backend
+    )
 
 
 def make_trial_function(
@@ -44,6 +54,7 @@ def make_trial_function(
     learning_fraction: float = 0.25,
     optimizer: str = "dynpgm",
     active_learning_rounds: int = 0,
+    backend: str | None = None,
 ) -> Callable[[Workload, object, int], CountEstimate]:
     """Build a ``run_trial(workload, rng, budget)`` callable.
 
@@ -58,6 +69,7 @@ def make_trial_function(
         learning_fraction=learning_fraction,
         optimizer=optimizer,
         active_learning_rounds=active_learning_rounds,
+        backend=backend,
     ).build_trial_function()
 
 

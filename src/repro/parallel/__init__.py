@@ -26,6 +26,7 @@ from repro.parallel.fingerprint import (
     distribution_fingerprint,
     estimate_fingerprint,
     estimates_fingerprint,
+    task_fingerprint,
 )
 from repro.parallel.methods import METHODS, MethodSpec, classifier_factory
 from repro.parallel.runner import ParallelTrialRunner, run_trials_parallel
@@ -59,4 +60,5 @@ __all__ = [
     "resolve_worker_count",
     "run_single_trial",
     "run_trials_parallel",
+    "task_fingerprint",
 ]

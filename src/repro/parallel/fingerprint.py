@@ -11,6 +11,7 @@ estimate.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import struct
 from typing import Iterable
@@ -55,6 +56,54 @@ def estimates_fingerprint(estimates: Iterable[CountEstimate]) -> str:
     digest = hashlib.sha256()
     for estimate in estimates:
         digest.update(estimate_fingerprint(estimate).encode())
+    return digest.hexdigest()
+
+
+def _update_with_fields(digest: "hashlib._Hash", spec: object) -> None:
+    for field in dataclasses.fields(spec):
+        value = getattr(spec, field.name)
+        digest.update(field.name.encode())
+        digest.update(b"=")
+        if value is None:
+            digest.update(b"\x00none\x00")
+        elif isinstance(value, bool):
+            digest.update(b"true" if value else b"false")
+        elif isinstance(value, int):
+            digest.update(_pack_int(value))
+        elif isinstance(value, float):
+            digest.update(_pack_float(value))
+        else:
+            digest.update(str(value).encode())
+        digest.update(b"\x1f")
+
+
+def task_fingerprint(
+    workload_spec: object,
+    method_spec: object,
+    num_trials: int,
+    seed: int,
+    budget: int,
+) -> str:
+    """Hex digest of one experiment's deterministic task description.
+
+    Covers every field of the workload and method specs — including the
+    query-backend choice on both — plus the trial count, master seed and
+    budget.  Two runs with the same task fingerprint must produce the same
+    :func:`estimates_fingerprint`; runs that differ *only* in backend have
+    different task fingerprints but, by the backend-parity contract,
+    identical estimate fingerprints.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"workload:")
+    _update_with_fields(digest, workload_spec)
+    digest.update(b"method:")
+    _update_with_fields(digest, method_spec)
+    digest.update(b"trials:")
+    digest.update(_pack_int(num_trials))
+    digest.update(b"seed:")
+    digest.update(_pack_int(seed))
+    digest.update(b"budget:")
+    digest.update(_pack_int(budget))
     return digest.hexdigest()
 
 

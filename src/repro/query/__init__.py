@@ -12,10 +12,23 @@ new ones — in that form:
   plus generic wrappers for user-defined functions.
 * :mod:`repro.query.spatial` — grid index and dominance-counting structures
   used both for exact ground truth and inside the predicates.
-* :mod:`repro.query.sql` — an optional sqlite3 backend that runs the same
-  predicates as SQL, demonstrating the Q1/Q2/Q3 rewriting of Section 2.
+* :mod:`repro.query.backends` — the pluggable execution layer: the same
+  counting query runs over in-memory numpy kernels, a real sqlite3 engine
+  (predicates pushed down as SQL), or chunk-streamed out-of-core blocks,
+  with byte-identical results.
+* :mod:`repro.query.sql` — sqlite3 materialisation plus the demonstration
+  queries for the Q1/Q2/Q3 rewriting of Section 2.
 """
 
+from repro.query.backends import (
+    BACKEND_NAMES,
+    ChunkedBackend,
+    NumpyBackend,
+    QueryBackend,
+    SqliteBackend,
+    canonical_backend_spec,
+    make_backend,
+)
 from repro.query.counting import CountingQuery
 from repro.query.predicates import (
     CallablePredicate,
@@ -27,13 +40,20 @@ from repro.query.spatial import GridIndex, dominance_counts, neighbor_counts
 from repro.query.table import Table
 
 __all__ = [
+    "BACKEND_NAMES",
     "CallablePredicate",
+    "ChunkedBackend",
     "CountingQuery",
     "GridIndex",
     "NeighborCountPredicate",
+    "NumpyBackend",
     "Predicate",
+    "QueryBackend",
     "SkybandPredicate",
+    "SqliteBackend",
     "Table",
+    "canonical_backend_spec",
     "dominance_counts",
+    "make_backend",
     "neighbor_counts",
 ]

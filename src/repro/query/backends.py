@@ -1,0 +1,421 @@
+"""Pluggable query backends: where the object set lives and ``q`` executes.
+
+The paper's Q1→Q2+Q3 rewriting only requires two physical capabilities from
+the data substrate: enumerate the object set (cheap) and evaluate the
+expensive per-object predicate on demand.  :class:`QueryBackend` promotes
+that seam into a first-class abstraction so the same estimators run
+unchanged over
+
+* :class:`NumpyBackend` — the in-memory columnar :class:`~repro.query.table.Table`
+  driven through the PR-4 vectorized predicate kernels (the historical
+  behaviour of :class:`~repro.query.counting.CountingQuery`);
+* :class:`SqliteBackend` — a real SQL engine: the table is materialised into
+  sqlite3 and the built-in :class:`~repro.query.predicates.NeighborCountPredicate`
+  / :class:`~repro.query.predicates.SkybandPredicate` are pushed down as
+  correlated COUNT subqueries (Q3 exactly as a database would run it);
+* :class:`ChunkedBackend` — out-of-core-oriented streaming: feature blocks
+  and predicate evaluations are driven through fixed-size row blocks, so the
+  per-call working set stays bounded by the chunk size rather than the index
+  set.
+
+**The parity contract.**  Backends are *representations*, never semantics:
+for any index set, every backend must return labels byte-identical to
+``NumpyBackend`` (float64, same order), and exact ground truth must match
+bit-for-bit as well.  Estimators draw their randomness from seeded streams
+and consume only labels, so label parity makes every estimate, cut point and
+oracle-call count byte-identical across backends — the invariant enforced by
+``tests/test_backend_parity.py`` and the ``backend-parity`` CI step (see
+``repro.experiments.parity``).  The SQL pushdown preserves the invariant by
+replaying the kernels' float64 arithmetic operation for operation: sqlite
+stores IEEE-754 doubles, the distance test ``(dx*dx + dy*dy) <= d**2`` rounds
+each step exactly like the numpy kernels, and the skyband test is pure
+comparisons.
+
+Backends are named by a spec string — ``"numpy"``, ``"sqlite"``,
+``"chunked"`` or ``"chunked:<rows>"`` — so the choice travels through
+pickle-safe descriptions (:class:`~repro.workloads.queries.WorkloadSpec`,
+:class:`~repro.parallel.methods.MethodSpec`) and is part of the deterministic
+task fingerprint.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.query.predicates import NeighborCountPredicate, Predicate, SkybandPredicate
+from repro.query.sql import quote_identifier, table_to_sqlite
+from repro.query.table import Table
+
+#: Spec names accepted by :func:`make_backend` (``"chunked"`` also accepts a
+#: ``:<rows>`` suffix selecting the block size).
+BACKEND_NAMES = ("numpy", "sqlite", "chunked")
+
+#: Default row-block size of :class:`ChunkedBackend`.
+DEFAULT_CHUNK_ROWS = 4096
+
+#: Most rows a single ``IN (...)`` probe may name; kept under sqlite's
+#: historical 999-parameter limit with room for the predicate parameters.
+_SQL_BATCH_ROWS = 500
+
+
+class QueryBackend(ABC):
+    """Physical substrate behind a :class:`~repro.query.counting.CountingQuery`.
+
+    A backend binds one (table, predicate) pair and answers the four
+    questions the estimators ask: how many objects exist, what are their
+    features, what does ``q`` say about these objects, and what is the exact
+    ground truth.  It performs **no accounting** — the counting query charges
+    evaluations; the backend only produces labels.
+    """
+
+    #: canonical spec string that rebuilds this backend via :func:`make_backend`.
+    spec: str = ""
+
+    def __init__(self, table: Table, predicate: Predicate) -> None:
+        self.table = table
+        self.predicate = predicate
+
+    # -- object enumeration ---------------------------------------------------
+    @property
+    def num_objects(self) -> int:
+        """Size of the object set ``O``."""
+        return self.table.num_rows
+
+    def object_indices(self) -> np.ndarray:
+        """Enumerate the object set (cheap by assumption)."""
+        return np.arange(self.num_objects, dtype=np.int64)
+
+    def features(
+        self,
+        columns: Sequence[str],
+        indices: Sequence[int] | np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Feature block for the given objects (all objects by default)."""
+        matrix = self.table.columns(columns)
+        if indices is None:
+            return matrix
+        return matrix[np.asarray(indices, dtype=np.int64)]
+
+    # -- predicate execution --------------------------------------------------
+    @abstractmethod
+    def evaluate(self, indices: np.ndarray) -> np.ndarray:
+        """Labels of ``q`` on the given objects, byte-identical across backends."""
+
+    @abstractmethod
+    def evaluate_all(self) -> np.ndarray:
+        """Exact label of every object (the experiments' ground truth)."""
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (connections, buffers); idempotent."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"{type(self).__name__}(spec={self.spec!r}, objects={self.num_objects})"
+
+
+class NumpyBackend(QueryBackend):
+    """The in-memory columnar backend (historical behaviour).
+
+    Per-object evaluation goes through the predicate's vectorized batch
+    kernel, bulk ground truth through its exact bulk algorithm — exactly the
+    code paths :class:`~repro.query.counting.CountingQuery` used before the
+    backend seam existed, so this backend *defines* the parity contract's
+    reference labels.
+    """
+
+    spec = "numpy"
+
+    def evaluate(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        return np.asarray(self.predicate.evaluate_batch(self.table, indices), dtype=np.float64)
+
+    def evaluate_all(self) -> np.ndarray:
+        return np.asarray(self.predicate.evaluate_all(self.table), dtype=np.float64)
+
+
+class ChunkedBackend(QueryBackend):
+    """Stream evaluation through fixed-size row blocks (out-of-core shape).
+
+    Every operation — per-object labels, ground truth, feature gathering —
+    is driven in blocks of at most ``chunk_rows`` rows through the batch
+    kernels, so the per-call temporaries are bounded by the block size rather
+    than the request: the access pattern a table too large for memory needs.
+    The batch kernels label each index independently of its block-mates,
+    which is what makes the streamed labels byte-identical to one whole-set
+    call.
+
+    Args:
+        table: the object table.
+        predicate: the expensive predicate.
+        chunk_rows: rows per streamed block (defaults to
+            :data:`DEFAULT_CHUNK_ROWS`).
+    """
+
+    def __init__(
+        self, table: Table, predicate: Predicate, chunk_rows: int = DEFAULT_CHUNK_ROWS
+    ) -> None:
+        super().__init__(table, predicate)
+        if chunk_rows <= 0:
+            raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+        self.chunk_rows = int(chunk_rows)
+        self.spec = f"chunked:{self.chunk_rows}"
+
+    def _blocks(self, indices: np.ndarray) -> Iterator[np.ndarray]:
+        for start in range(0, indices.size, self.chunk_rows):
+            yield indices[start : start + self.chunk_rows]
+
+    def evaluate(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return np.empty(0, dtype=np.float64)
+        parts = [
+            np.asarray(self.predicate.evaluate_batch(self.table, block), dtype=np.float64)
+            for block in self._blocks(indices)
+        ]
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def evaluate_all(self) -> np.ndarray:
+        # Ground truth through the streamed batch kernels.  NumpyBackend's
+        # bulk sweep expands ‖a-b‖² as ‖a‖²-2a·b+‖b‖² while the batch kernel
+        # subtracts coordinates directly — the same bet the counting query
+        # has always made between its cached (bulk) and uncached (batch)
+        # label paths.  The parity suite and CI gate pin that the two
+        # roundings agree byte-for-byte on the seeded workloads.
+        return self.evaluate(self.object_indices())
+
+    def features(
+        self,
+        columns: Sequence[str],
+        indices: Sequence[int] | np.ndarray | None = None,
+    ) -> np.ndarray:
+        names = list(columns)
+        if not names:
+            raise ValueError("must request at least one column")
+        if indices is None:
+            indices = self.object_indices()
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return np.empty((0, len(names)), dtype=np.float64)
+        # Gather column slices block by block — deliberately NOT through
+        # Table.columns, which materialises the full (N, d) matrix and would
+        # defeat the bounded working set.  Casting a slice then stacking is
+        # elementwise, so the assembled matrix is byte-identical to slicing
+        # the full-table matrix.
+        parts = [
+            np.column_stack(
+                [self.table.column(name)[block].astype(np.float64) for name in names]
+            )
+            for block in self._blocks(indices)
+        ]
+        return parts[0] if len(parts) == 1 else np.vstack(parts)
+
+
+@dataclass(frozen=True)
+class _PushdownPlan:
+    """SQL fragments evaluating one built-in predicate inside sqlite.
+
+    ``label_expression`` computes the 0/1 label of the row aliased ``o1``
+    as a correlated subquery; ``parameters`` are its positional bindings.
+    """
+
+    label_expression: str
+    parameters: tuple[float, ...]
+    index_column: str | None = None
+
+
+def _neighbor_plan(table: Table, predicate: NeighborCountPredicate, name: str) -> _PushdownPlan:
+    x = quote_identifier(predicate.x_column)
+    y = quote_identifier(predicate.y_column)
+    # Index-friendly prefilter on x.  The slack term makes the rounded
+    # bounds provably cover every point within ``distance`` (the subtraction
+    # rounds by at most ~|x| * 2^-53, orders of magnitude below the slack),
+    # so the prefilter is a strict superset of the exact distance test and
+    # cannot change labels.
+    x_values = np.asarray(table.column(predicate.x_column), dtype=np.float64)
+    max_abs = float(np.max(np.abs(x_values))) if x_values.size else 0.0
+    slack = 1e-9 * (max_abs + predicate.distance + 1.0)
+    width = predicate.distance + slack
+    expression = (
+        f"(SELECT COUNT(*) FROM {name} o2"
+        f" WHERE o2.{x} >= o1.{x} - ? AND o2.{x} <= o1.{x} + ?"
+        f" AND o2.rowidx != o1.rowidx"
+        f" AND ((o2.{x} - o1.{x}) * (o2.{x} - o1.{x})"
+        f" + (o2.{y} - o1.{y}) * (o2.{y} - o1.{y})) <= ?) <= ?"
+    )
+    # ``distance**2`` is scalar pow, matching the kernels' ``radius**2``.
+    parameters = (width, width, predicate.distance**2, float(predicate.max_neighbors))
+    return _PushdownPlan(expression, parameters, index_column=predicate.x_column)
+
+
+def _skyband_plan(predicate: SkybandPredicate, name: str) -> _PushdownPlan:
+    x = quote_identifier(predicate.x_column)
+    y = quote_identifier(predicate.y_column)
+    # Pure comparisons; the row itself fails the strict clause, exactly as in
+    # ``dominance_count_single``, so no rowidx exclusion is needed.
+    expression = (
+        f"(SELECT COUNT(*) FROM {name} o2"
+        f" WHERE o2.{x} >= o1.{x} AND o2.{y} >= o1.{y}"
+        f" AND (o2.{x} > o1.{x} OR o2.{y} > o1.{y})) < ?"
+    )
+    return _PushdownPlan(expression, (float(predicate.k),))
+
+
+class SqliteBackend(QueryBackend):
+    """Execute Q3 inside sqlite3.
+
+    The object table is materialised into an in-memory sqlite database.  The
+    two built-in predicates are pushed down as correlated COUNT subqueries —
+    batched per-object probes and a single bulk pass for ground truth — with
+    an index on the neighbour predicate's x column so the correlated scan
+    uses a range probe instead of a full scan per object.  Predicates without
+    a SQL translation (user-defined :class:`~repro.query.predicates.CallablePredicate`)
+    fall back to the in-memory kernels; the backend still owns enumeration
+    and feature gathering, and label parity is trivially preserved.
+
+    Args:
+        table: the object table.
+        predicate: the expensive predicate.
+        table_name: name under which the table is materialised (defaults to
+            the table's own name).
+    """
+
+    spec = "sqlite"
+
+    def __init__(self, table: Table, predicate: Predicate, table_name: str | None = None) -> None:
+        super().__init__(table, predicate)
+        self.table_name = table_name or table.name or "objects"
+        self.connection: sqlite3.Connection | None = table_to_sqlite(
+            table, table_name=self.table_name
+        )
+        quoted = quote_identifier(self.table_name)
+        if isinstance(predicate, NeighborCountPredicate):
+            self._plan: _PushdownPlan | None = _neighbor_plan(table, predicate, quoted)
+        elif isinstance(predicate, SkybandPredicate):
+            self._plan = _skyband_plan(predicate, quoted)
+        else:
+            self._plan = None
+        if self._plan is not None and self._plan.index_column is not None:
+            self.connection.execute(
+                f"CREATE INDEX IF NOT EXISTS {quote_identifier('ix_' + self.table_name)} "
+                f"ON {quoted} ({quote_identifier(self._plan.index_column)})"
+            )
+        self._quoted_name = quoted
+
+    def close(self) -> None:
+        if self.connection is not None:
+            self.connection.close()
+            self.connection = None
+
+    def _require_connection(self) -> sqlite3.Connection:
+        if self.connection is None:
+            raise RuntimeError("sqlite backend is closed")
+        return self.connection
+
+    def evaluate(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        if self._plan is None:
+            return np.asarray(
+                self.predicate.evaluate_batch(self.table, indices), dtype=np.float64
+            )
+        if indices.size == 0:
+            return np.empty(0, dtype=np.float64)
+        # Mirror numpy's fancy-indexing semantics exactly — negative indices
+        # wrap, anything else out of range raises — so label parity with the
+        # in-memory backends holds for *any* index set, not just 0..N-1.
+        indices = np.where(indices < 0, indices + self.num_objects, indices)
+        out_of_range = (indices < 0) | (indices >= self.num_objects)
+        if np.any(out_of_range):
+            bad = indices[out_of_range][:5].tolist()
+            raise IndexError(f"object indices {bad} out of range for {self.num_objects} objects")
+        connection = self._require_connection()
+        unique = np.unique(indices)
+        labels_by_index: dict[int, float] = {}
+        for start in range(0, unique.size, _SQL_BATCH_ROWS):
+            batch = unique[start : start + _SQL_BATCH_ROWS]
+            placeholders = ", ".join("?" for _ in range(batch.size))
+            sql = (
+                f"SELECT o1.rowidx, {self._plan.label_expression} "
+                f"FROM {self._quoted_name} o1 WHERE o1.rowidx IN ({placeholders})"
+            )
+            bindings = (*self._plan.parameters, *(int(i) for i in batch))
+            for rowidx, label in connection.execute(sql, bindings):
+                labels_by_index[int(rowidx)] = float(label)
+        # Every in-range rowidx exists in the materialised table, so the
+        # lookups below cannot miss.
+        return np.array([labels_by_index[int(i)] for i in indices], dtype=np.float64)
+
+    def evaluate_all(self) -> np.ndarray:
+        if self._plan is None:
+            return np.asarray(self.predicate.evaluate_all(self.table), dtype=np.float64)
+        connection = self._require_connection()
+        sql = (
+            f"SELECT {self._plan.label_expression} "
+            f"FROM {self._quoted_name} o1 ORDER BY o1.rowidx"
+        )
+        rows = connection.execute(sql, self._plan.parameters).fetchall()
+        return np.fromiter((float(label) for (label,) in rows), dtype=np.float64, count=len(rows))
+
+
+def canonical_backend_spec(spec: "str | QueryBackend | None") -> str:
+    """Normalise a backend spec to its canonical string form.
+
+    ``None`` means the default (``"numpy"``); a backend instance reports its
+    own canonical spec; a string is validated and normalised
+    (``"chunked"`` → ``"chunked:<default>"``).
+    """
+    if spec is None:
+        return "numpy"
+    if isinstance(spec, QueryBackend):
+        return spec.spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"backend spec must be a string or QueryBackend, got {type(spec).__name__}"
+        )
+    name, _, argument = spec.partition(":")
+    if name not in BACKEND_NAMES:
+        raise ValueError(f"unknown backend {name!r}; choose from {BACKEND_NAMES}")
+    if name != "chunked":
+        if argument:
+            raise ValueError(f"backend {name!r} takes no argument, got {spec!r}")
+        return name
+    chunk_rows = DEFAULT_CHUNK_ROWS
+    if argument:
+        try:
+            chunk_rows = int(argument)
+        except ValueError:
+            raise ValueError(f"invalid chunk size in backend spec {spec!r}") from None
+    if chunk_rows <= 0:
+        raise ValueError(f"chunk size must be positive in backend spec {spec!r}")
+    return f"chunked:{chunk_rows}"
+
+
+def make_backend(
+    spec: "str | QueryBackend | None",
+    table: Table,
+    predicate: Predicate,
+) -> QueryBackend:
+    """Build the backend named by ``spec`` over a (table, predicate) pair.
+
+    An already-built :class:`QueryBackend` passes through untouched (after a
+    consistency check that it binds the same table), which lets callers hand
+    a custom backend implementation directly to
+    :class:`~repro.query.counting.CountingQuery`.
+    """
+    if isinstance(spec, QueryBackend):
+        if spec.table is not table:
+            raise ValueError("backend instance is bound to a different table")
+        if spec.predicate is not predicate:
+            raise ValueError("backend instance is bound to a different predicate")
+        return spec
+    canonical = canonical_backend_spec(spec)
+    if canonical == "numpy":
+        return NumpyBackend(table, predicate)
+    if canonical == "sqlite":
+        return SqliteBackend(table, predicate)
+    chunk_rows = int(canonical.split(":", 1)[1])
+    return ChunkedBackend(table, predicate, chunk_rows=chunk_rows)

@@ -5,18 +5,27 @@ against.  It binds a :class:`~repro.query.table.Table` (the object set
 produced by Q2) to a :class:`~repro.query.predicates.Predicate` (the
 expensive per-object condition Q3), tracks how many predicate evaluations
 have been spent, and exposes exact ground truth for experiment validation.
+
+Physical execution is delegated to a pluggable
+:class:`~repro.query.backends.QueryBackend` (in-memory numpy kernels, SQL
+pushdown into sqlite3, or chunk-streamed out-of-core evaluation).  Backends
+are interchangeable representations: labels, accounting and therefore every
+seeded estimate are byte-identical whichever backend executes the query.
 """
 
 from __future__ import annotations
 
 import contextlib
 import time
-from typing import Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro.query.predicates import Predicate
 from repro.query.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.query.backends import QueryBackend
 
 
 class CountingQuery:
@@ -34,6 +43,11 @@ class CountingQuery:
             the cache.  Evaluation accounting is unaffected — the paper's
             cost model counts predicate evaluations, not wall-clock — but
             experiments over many trials avoid re-running the expensive scan.
+        backend: where the query physically executes — a spec string
+            (``"numpy"``, ``"sqlite"``, ``"chunked"``/``"chunked:<rows>"``),
+            a prebuilt :class:`~repro.query.backends.QueryBackend`, or
+            ``None`` for the in-memory default.  Backends never change
+            results: labels and accounting are byte-identical across them.
     """
 
     def __init__(
@@ -43,7 +57,10 @@ class CountingQuery:
         feature_columns: Sequence[str] | None = None,
         name: str = "counting-query",
         cache_labels: bool = True,
+        backend: "str | QueryBackend | None" = None,
     ) -> None:
+        from repro.query.backends import make_backend
+
         self.table = table
         self.predicate = predicate
         self.name = name
@@ -55,27 +72,73 @@ class CountingQuery:
         if missing:
             raise ValueError(f"feature columns {missing} not present in table")
         self.feature_columns = columns
+        self.backend = make_backend(backend, table, predicate)
 
         self._cached_labels: np.ndarray | None = None
+        self._backend_siblings: dict[str, "CountingQuery"] = {}
         self._evaluations = 0
         self._evaluation_seconds = 0.0
+
+    @property
+    def backend_spec(self) -> str:
+        """Canonical spec string of the backend executing this query."""
+        return self.backend.spec
+
+    def with_backend(self, backend: "str | QueryBackend | None") -> "CountingQuery":
+        """A sibling query over the same (table, predicate) on another backend.
+
+        The sibling shares the table, predicate and feature columns but owns
+        its backend, label cache and accounting, so estimates produced
+        through it genuinely exercise the requested backend.  Siblings are
+        cached per canonical spec: repeated trials rebinding to the same
+        backend reuse one materialisation (one sqlite database, one bulk
+        ground-truth pass) instead of rebuilding per trial.
+        """
+        from repro.query.backends import QueryBackend, canonical_backend_spec
+
+        if isinstance(backend, QueryBackend):
+            # A concrete instance is an explicit choice of *object*, not just
+            # of spec string — never satisfied from the sibling cache, which
+            # could silently swap in a differently configured backend.
+            if backend is self.backend:
+                return self
+            return CountingQuery(
+                self.table,
+                self.predicate,
+                feature_columns=self.feature_columns,
+                name=self.name,
+                cache_labels=self.cache_labels,
+                backend=backend,
+            )
+        spec = canonical_backend_spec(backend)
+        if spec == self.backend.spec:
+            return self
+        sibling = self._backend_siblings.get(spec)
+        if sibling is None:
+            sibling = CountingQuery(
+                self.table,
+                self.predicate,
+                feature_columns=self.feature_columns,
+                name=self.name,
+                cache_labels=self.cache_labels,
+                backend=spec,
+            )
+            self._backend_siblings[spec] = sibling
+        return sibling
 
     # -- object enumeration --------------------------------------------------
     @property
     def num_objects(self) -> int:
         """Size of the object set ``O``."""
-        return self.table.num_rows
+        return self.backend.num_objects
 
     def object_indices(self) -> np.ndarray:
         """Enumerate the object set (cheap by assumption)."""
-        return np.arange(self.num_objects, dtype=np.int64)
+        return self.backend.object_indices()
 
     def features(self, indices: Sequence[int] | np.ndarray | None = None) -> np.ndarray:
         """Feature matrix for the given objects (all objects by default)."""
-        matrix = self.table.columns(self.feature_columns)
-        if indices is None:
-            return matrix
-        return matrix[np.asarray(indices, dtype=np.int64)]
+        return self.backend.features(self.feature_columns, indices)
 
     # -- predicate evaluation -----------------------------------------------
     @property
@@ -115,9 +178,7 @@ class CountingQuery:
 
     def _all_labels(self) -> np.ndarray:
         if self._cached_labels is None:
-            self._cached_labels = np.asarray(
-                self.predicate.evaluate_all(self.table), dtype=np.float64
-            )
+            self._cached_labels = np.asarray(self.backend.evaluate_all(), dtype=np.float64)
         return self._cached_labels
 
     # -- label-cache sharing --------------------------------------------------
@@ -160,12 +221,11 @@ class CountingQuery:
         if self.cache_labels:
             labels = self._all_labels()[indices]
         else:
-            # The vectorized kernel path: label values are byte-identical to
-            # the per-object loop, and each index is still charged as one
+            # The backend executes the predicate (vectorized kernels, SQL
+            # pushdown or chunk streaming); label values are byte-identical
+            # whichever backend runs, and each index is still charged as one
             # predicate evaluation below.
-            labels = np.asarray(
-                self.predicate.evaluate_batch(self.table, indices), dtype=np.float64
-            )
+            labels = np.asarray(self.backend.evaluate(indices), dtype=np.float64)
         self._evaluations += int(indices.size)
         self._evaluation_seconds += time.perf_counter() - started
         return labels
@@ -225,5 +285,5 @@ class CountingQuery:
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return (
             f"CountingQuery(name={self.name!r}, objects={self.num_objects}, "
-            f"features={self.feature_columns})"
+            f"features={self.feature_columns}, backend={self.backend_spec!r})"
         )

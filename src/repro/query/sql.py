@@ -19,16 +19,42 @@ import numpy as np
 from repro.query.table import Table
 
 
+def quote_identifier(name: str) -> str:
+    """Quote a table or column name for safe interpolation into SQL text.
+
+    Identifiers cannot be bound as parameters, so any name woven into DDL or
+    query text must be delimited.  Double-quoting (the SQL standard form,
+    with embedded double quotes doubled) makes reserved words (``select``,
+    ``group``) and names containing hyphens or spaces legal; names that
+    cannot be represented at all — empty, non-string, or containing a NUL
+    byte, which sqlite rejects inside any token — raise ``ValueError``.
+    """
+    if not isinstance(name, str):
+        raise ValueError(f"identifier must be a string, got {type(name).__name__}")
+    if not name:
+        raise ValueError("identifier must be non-empty")
+    if "\x00" in name:
+        raise ValueError("identifier must not contain NUL bytes")
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
 def table_to_sqlite(
     table: Table,
     connection: sqlite3.Connection | None = None,
     table_name: str | None = None,
 ) -> sqlite3.Connection:
-    """Materialise a table into sqlite3 (in memory unless given a connection)."""
+    """Materialise a table into sqlite3 (in memory unless given a connection).
+
+    Table and column names are delimited with :func:`quote_identifier`, so
+    datasets named after SQL keywords or containing hyphens (the workload
+    builders produce names like ``neighbors-S``) materialise verbatim
+    instead of corrupting the DDL.
+    """
     connection = connection or sqlite3.connect(":memory:")
-    name = table_name or table.name
+    name = quote_identifier(table_name or table.name)
     columns = table.column_names
-    column_spec = ", ".join(f"{column} REAL" for column in columns)
+    column_spec = ", ".join(f"{quote_identifier(column)} REAL" for column in columns)
     connection.execute(f"DROP TABLE IF EXISTS {name}")
     connection.execute(f"CREATE TABLE {name} (rowidx INTEGER PRIMARY KEY, {column_spec})")
     placeholders = ", ".join("?" for _ in range(len(columns) + 1))
@@ -54,6 +80,9 @@ class SQLCountingBackend:
         self.table_name = table_name or table.name or "objects"
         self.connection = table_to_sqlite(table, table_name=self.table_name)
 
+    def _quoted(self, identifier: str) -> str:
+        return quote_identifier(identifier)
+
     def close(self) -> None:
         self.connection.close()
 
@@ -66,7 +95,9 @@ class SQLCountingBackend:
     # -- full-query form (Q1) -------------------------------------------------
     def skyband_count_full_query(self, x_column: str, y_column: str, k: int) -> int:
         """Example 2's k-skyband size via the self-join + HAVING query."""
-        name = self.table_name
+        name = self._quoted(self.table_name)
+        x_column = self._quoted(x_column)
+        y_column = self._quoted(y_column)
         sql = f"""
             SELECT
                 (SELECT COUNT(*) FROM {name}) -
@@ -91,14 +122,16 @@ class SQLCountingBackend:
         self, x_column: str, y_column: str, max_neighbors: int, distance: float
     ) -> int:
         """Example 1's "few neighbours" count via the self-join query."""
-        name = self.table_name
+        name = self._quoted(self.table_name)
+        quoted_x = self._quoted(x_column)
+        quoted_y = self._quoted(y_column)
         sql = f"""
             SELECT COUNT(*) FROM (
                 SELECT o1.rowidx
                 FROM {name} o1, {name} o2
                 WHERE o1.rowidx != o2.rowidx
-                  AND ((o1.{x_column} - o2.{x_column}) * (o1.{x_column} - o2.{x_column})
-                     + (o1.{y_column} - o2.{y_column}) * (o1.{y_column} - o2.{y_column})) <= ?
+                  AND ((o1.{quoted_x} - o2.{quoted_x}) * (o1.{quoted_x} - o2.{quoted_x})
+                     + (o1.{quoted_y} - o2.{quoted_y}) * (o1.{quoted_y} - o2.{quoted_y})) <= ?
                 GROUP BY o1.rowidx
                 HAVING COUNT(*) <= ?
             )
@@ -110,7 +143,9 @@ class SQLCountingBackend:
         return int(with_neighbors) + isolated
 
     def _isolated_count(self, x_column: str, y_column: str, distance: float) -> int:
-        name = self.table_name
+        name = self._quoted(self.table_name)
+        x_column = self._quoted(x_column)
+        y_column = self._quoted(y_column)
         sql = f"""
             SELECT COUNT(*) FROM {name} o1
             WHERE NOT EXISTS (
@@ -126,7 +161,9 @@ class SQLCountingBackend:
     # -- per-object predicate form (Q3) ---------------------------------------
     def skyband_predicate(self, x_column: str, y_column: str, k: int, index: int) -> bool:
         """Example 2's per-object predicate as a correlated aggregate subquery."""
-        name = self.table_name
+        name = self._quoted(self.table_name)
+        x_column = self._quoted(x_column)
+        y_column = self._quoted(y_column)
         sql = f"""
             SELECT (
                 SELECT COUNT(*) FROM {name}
@@ -143,7 +180,9 @@ class SQLCountingBackend:
         self, x_column: str, y_column: str, max_neighbors: int, distance: float, index: int
     ) -> bool:
         """Example 1's per-object predicate as a correlated aggregate subquery."""
-        name = self.table_name
+        name = self._quoted(self.table_name)
+        x_column = self._quoted(x_column)
+        y_column = self._quoted(y_column)
         sql = f"""
             SELECT (
                 SELECT COUNT(*) FROM {name} o2

@@ -27,6 +27,7 @@ from repro.datasets.sports import (
     SKYBAND_Y_COLUMN,
     generate_sports_table,
 )
+from repro.query.backends import canonical_backend_spec
 from repro.query.counting import CountingQuery
 from repro.query.predicates import NeighborCountPredicate, SkybandPredicate
 
@@ -45,6 +46,11 @@ class WorkloadSpec:
     trial engine ships specs (cheap) instead of workloads (heavy, and not
     guaranteed picklable for user-defined predicates) and caches one built
     workload per spec per process.
+
+    ``backend`` selects the query-execution backend (canonical spec string,
+    see :mod:`repro.query.backends`); it is part of the task description and
+    of the deterministic task fingerprint, but never of the results — the
+    backend-parity contract keeps estimates byte-identical across backends.
     """
 
     dataset: str
@@ -52,6 +58,14 @@ class WorkloadSpec:
     num_rows: int | None = None
     seed: int | None = None
     cache_labels: bool = True
+    backend: str = "numpy"
+
+    def __post_init__(self) -> None:
+        # Canonicalise eagerly (``"chunked"`` → ``"chunked:4096"``) so specs
+        # describing the same task compare and hash equally — the parallel
+        # engine's per-process workload cache and the task fingerprint both
+        # key on the spec.
+        object.__setattr__(self, "backend", canonical_backend_spec(self.backend))
 
     def build(self) -> "Workload":
         """Construct the described workload (deterministic)."""
@@ -61,6 +75,7 @@ class WorkloadSpec:
             num_rows=self.num_rows,
             seed=self.seed,
             cache_labels=self.cache_labels,
+            backend=self.backend,
         )
 
 
@@ -104,8 +119,10 @@ def build_sports_workload(
     num_rows: int = DEFAULT_SPORTS_ROWS,
     seed: int = 7,
     cache_labels: bool = True,
+    backend: str = "numpy",
 ) -> Workload:
     """Type 1 (Sports): k-skyband membership over pitching statistics."""
+    backend = canonical_backend_spec(backend)
     table = generate_sports_table(num_rows=num_rows, seed=seed)
     calibration = calibrate_skyband_depth(table, SKYBAND_X_COLUMN, SKYBAND_Y_COLUMN, level)
     predicate = SkybandPredicate(SKYBAND_X_COLUMN, SKYBAND_Y_COLUMN, k=calibration.parameter)
@@ -114,9 +131,15 @@ def build_sports_workload(
         predicate,
         name=f"sports-skyband-{level}",
         cache_labels=cache_labels,
+        backend=backend,
     )
     spec = WorkloadSpec(
-        dataset="sports", level=level, num_rows=num_rows, seed=seed, cache_labels=cache_labels
+        dataset="sports",
+        level=level,
+        num_rows=num_rows,
+        seed=seed,
+        cache_labels=cache_labels,
+        backend=backend,
     )
     return Workload(name="sports", level=level, query=query, calibration=calibration, spec=spec)
 
@@ -127,8 +150,10 @@ def build_neighbors_workload(
     seed: int = 11,
     distance: float = DEFAULT_NEIGHBOR_DISTANCE,
     cache_labels: bool = True,
+    backend: str = "numpy",
 ) -> Workload:
     """Type 2 (Neighbors): records with few neighbours within distance ``d``."""
+    backend = canonical_backend_spec(backend)
     table = generate_neighbors_table(num_rows=num_rows, seed=seed)
     calibration = calibrate_neighbor_threshold(
         table, NEIGHBOR_X_COLUMN, NEIGHBOR_Y_COLUMN, distance, level
@@ -144,6 +169,7 @@ def build_neighbors_workload(
         predicate,
         name=f"neighbors-{level}",
         cache_labels=cache_labels,
+        backend=backend,
     )
     # A spec can only describe what build_workload can rebuild; a custom
     # neighbour distance is not part of the spec vocabulary, so such
@@ -155,6 +181,7 @@ def build_neighbors_workload(
             num_rows=num_rows,
             seed=seed,
             cache_labels=cache_labels,
+            backend=backend,
         )
         if distance == DEFAULT_NEIGHBOR_DISTANCE
         else None
@@ -168,6 +195,7 @@ def build_workload(
     num_rows: int | None = None,
     seed: int | None = None,
     cache_labels: bool = True,
+    backend: str = "numpy",
 ) -> Workload:
     """Build either workload by name with sensible defaults."""
     if dataset == "sports":
@@ -176,6 +204,7 @@ def build_workload(
             num_rows=num_rows or DEFAULT_SPORTS_ROWS,
             seed=7 if seed is None else seed,
             cache_labels=cache_labels,
+            backend=backend,
         )
     if dataset == "neighbors":
         return build_neighbors_workload(
@@ -183,5 +212,6 @@ def build_workload(
             num_rows=num_rows or DEFAULT_NEIGHBORS_ROWS,
             seed=11 if seed is None else seed,
             cache_labels=cache_labels,
+            backend=backend,
         )
     raise ValueError(f"unknown dataset {dataset!r}; choose 'sports' or 'neighbors'")

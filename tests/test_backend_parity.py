@@ -1,0 +1,336 @@
+"""The backend-parity contract: backends are representations, not semantics.
+
+Every :class:`~repro.query.backends.QueryBackend` must return labels,
+accounting and therefore seeded estimates byte-identical to the in-memory
+``NumpyBackend``.  This suite enforces the contract at three layers:
+deterministic unit checks on the backends themselves, a property-based
+(hypothesis) sweep over adversarial tables — tie-heavy integer grids, empty
+tables, duplicate-laden index sets — and the full seeded estimation workflow
+through :func:`repro.experiments.parity.run_backend_parity`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.parity import run_backend_parity
+from repro.parallel.methods import METHODS, MethodSpec
+from repro.query.backends import (
+    ChunkedBackend,
+    NumpyBackend,
+    SqliteBackend,
+    canonical_backend_spec,
+    make_backend,
+)
+from repro.query.counting import CountingQuery
+from repro.query.predicates import (
+    CallablePredicate,
+    NeighborCountPredicate,
+    SkybandPredicate,
+)
+from repro.query.table import Table
+from repro.workloads.queries import WorkloadSpec
+from repro.workloads.runner import TrialRunner
+
+ALL_BACKEND_SPECS = ("numpy", "sqlite", "chunked:1", "chunked:7", "chunked:4096")
+
+SETTINGS = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def _backends_for(table, predicate):
+    return [make_backend(spec, table, predicate) for spec in ALL_BACKEND_SPECS]
+
+
+# -- spec parsing -------------------------------------------------------------
+class TestBackendSpecs:
+    def test_canonical_forms(self):
+        assert canonical_backend_spec(None) == "numpy"
+        assert canonical_backend_spec("numpy") == "numpy"
+        assert canonical_backend_spec("sqlite") == "sqlite"
+        assert canonical_backend_spec("chunked") == "chunked:4096"
+        assert canonical_backend_spec("chunked:7") == "chunked:7"
+
+    @pytest.mark.parametrize("bad", ["bogus", "numpy:3", "chunked:0", "chunked:x", "sqlite:1"])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            canonical_backend_spec(bad)
+
+    def test_backend_instances_pass_through(self, small_points_table):
+        predicate = SkybandPredicate("x", "y", k=3)
+        backend = ChunkedBackend(small_points_table, predicate, chunk_rows=5)
+        query = CountingQuery(small_points_table, predicate, backend=backend)
+        assert query.backend is backend
+        assert query.backend_spec == "chunked:5"
+
+    def test_backend_bound_to_other_table_rejected(self, small_points_table):
+        predicate = SkybandPredicate("x", "y", k=3)
+        other = Table({"x": [1.0], "y": [2.0]})
+        backend = NumpyBackend(other, predicate)
+        with pytest.raises(ValueError):
+            CountingQuery(small_points_table, predicate, backend=backend)
+
+
+# -- deterministic parity over the shared fixtures ----------------------------
+class TestBackendLabelParity:
+    @pytest.mark.parametrize("cache_labels", [True, False])
+    def test_all_layers_byte_identical(self, small_points_table, cache_labels):
+        rng = np.random.default_rng(99)
+        indices = rng.integers(0, small_points_table.num_rows, size=57)
+        for predicate in (
+            NeighborCountPredicate("x", "y", max_neighbors=3, distance=0.5),
+            SkybandPredicate("x", "y", k=5),
+        ):
+            reference = None
+            for spec in ALL_BACKEND_SPECS:
+                query = CountingQuery(
+                    small_points_table, predicate, backend=spec, cache_labels=cache_labels
+                )
+                observed = (
+                    query.evaluate(indices).tobytes(),
+                    query.evaluations,
+                    query.ground_truth_labels().tobytes(),
+                    query.true_count(),
+                    query.features(indices[:9]).tobytes(),
+                    query.features().tobytes(),
+                )
+                if reference is None:
+                    reference = observed
+                assert observed == reference, f"backend {spec} diverged"
+
+    def test_callable_predicate_falls_back_everywhere(self, small_points_table):
+        predicate = CallablePredicate(
+            lambda table, index: table["x"][index] > 5.0, feature_columns=("x",)
+        )
+        indices = np.arange(0, small_points_table.num_rows, 3)
+        labels = [
+            backend.evaluate(indices).tobytes()
+            for backend in _backends_for(small_points_table, predicate)
+        ]
+        assert len(set(labels)) == 1
+
+    def test_evaluate_batch_chunking_matches_across_backends(self, small_points_table):
+        predicate = SkybandPredicate("x", "y", k=4)
+        indices = np.arange(small_points_table.num_rows)
+        outputs = set()
+        for spec in ALL_BACKEND_SPECS:
+            query = CountingQuery(
+                small_points_table, predicate, backend=spec, cache_labels=False
+            )
+            labels = query.evaluate_batch(indices, chunk_size=13)
+            outputs.add((labels.tobytes(), query.evaluations))
+        assert len(outputs) == 1
+
+    def test_with_backend_caches_siblings(self, neighbor_query):
+        sibling = neighbor_query.with_backend("chunked:7")
+        assert sibling is not neighbor_query
+        assert sibling is neighbor_query.with_backend("chunked:7")
+        assert neighbor_query.with_backend(neighbor_query.backend_spec) is neighbor_query
+        assert sibling.true_count() == neighbor_query.true_count()
+
+    def test_sqlite_rejects_unknown_indices(self, small_points_table):
+        predicate = SkybandPredicate("x", "y", k=3)
+        backend = SqliteBackend(small_points_table, predicate)
+        with pytest.raises(IndexError):
+            backend.evaluate(np.array([small_points_table.num_rows + 5]))
+        backend.close()
+        backend.close()  # idempotent
+
+    def test_negative_indices_wrap_like_numpy(self, small_points_table):
+        # numpy fancy indexing wraps negative indices; every backend must
+        # mirror that for the "any index set" parity contract to hold.
+        predicate = SkybandPredicate("x", "y", k=3)
+        indices = np.array([-1, 0, -small_points_table.num_rows, 5])
+        labels = {
+            CountingQuery(small_points_table, predicate, backend=spec, cache_labels=False)
+            .evaluate(indices)
+            .tobytes()
+            for spec in ALL_BACKEND_SPECS
+        }
+        assert len(labels) == 1
+
+
+# -- empty and degenerate tables ----------------------------------------------
+class TestDegenerateTables:
+    def test_empty_table_parity(self):
+        table = Table({"x": np.empty(0), "y": np.empty(0)}, name="empty")
+        predicate = SkybandPredicate("x", "y", k=2)
+        for spec in ALL_BACKEND_SPECS:
+            query = CountingQuery(table, predicate, backend=spec, cache_labels=False)
+            assert query.num_objects == 0
+            assert query.evaluate(np.empty(0, dtype=np.int64)).size == 0
+            assert query.true_count() == 0
+            assert query.evaluations == 0
+
+    def test_single_row_parity(self):
+        table = Table({"x": [2.5], "y": [1.0]}, name="one")
+        predicate = NeighborCountPredicate("x", "y", max_neighbors=0, distance=1.0)
+        labels = {
+            CountingQuery(table, predicate, backend=spec, cache_labels=False)
+            .evaluate([0])
+            .tobytes()
+            for spec in ALL_BACKEND_SPECS
+        }
+        assert len(labels) == 1
+
+
+# -- property-based sweep ------------------------------------------------------
+def _tables(draw, elements, min_rows=0):
+    num_rows = draw(st.integers(min_rows, 28))
+    xs = draw(st.lists(elements, min_size=num_rows, max_size=num_rows))
+    ys = draw(st.lists(elements, min_size=num_rows, max_size=num_rows))
+    return Table({"x": np.array(xs, dtype=np.float64), "y": np.array(ys, dtype=np.float64)})
+
+
+@st.composite
+def tie_heavy_tables(draw):
+    """Points on a tiny integer grid: duplicates and ties are the norm."""
+    return _tables(draw, st.integers(0, 3).map(float))
+
+
+@st.composite
+def continuous_tables(draw):
+    return _tables(
+        draw,
+        st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False, width=64),
+    )
+
+
+@st.composite
+def index_sets(draw, num_rows):
+    if num_rows == 0:
+        return np.empty(0, dtype=np.int64)
+    size = draw(st.integers(0, 40))
+    return np.array(
+        draw(
+            st.lists(st.integers(0, num_rows - 1), min_size=size, max_size=size)
+        ),
+        dtype=np.int64,
+    )
+
+
+@SETTINGS
+@given(data=st.data(), table=st.one_of(tie_heavy_tables(), continuous_tables()))
+def test_property_skyband_parity(data, table):
+    k = data.draw(st.integers(1, 4))
+    indices = data.draw(index_sets(table.num_rows))
+    predicate = SkybandPredicate("x", "y", k=k)
+    observed = set()
+    for spec in ALL_BACKEND_SPECS:
+        query = CountingQuery(table, predicate, backend=spec, cache_labels=False)
+        if table.num_rows == 0:
+            assert query.evaluate(indices).size == 0
+            continue
+        observed.add(
+            (
+                query.evaluate(indices).tobytes(),
+                query.evaluations,
+                query.ground_truth_labels().tobytes(),
+            )
+        )
+    assert len(observed) <= 1
+
+
+@SETTINGS
+@given(data=st.data(), table=st.one_of(tie_heavy_tables(), continuous_tables()))
+def test_property_neighbor_parity(data, table):
+    max_neighbors = data.draw(st.integers(0, 3))
+    distance = data.draw(st.floats(0.25, 8.0, allow_nan=False))
+    indices = data.draw(index_sets(table.num_rows))
+    predicate = NeighborCountPredicate(
+        "x", "y", max_neighbors=max_neighbors, distance=distance
+    )
+    observed = set()
+    for spec in ALL_BACKEND_SPECS:
+        query = CountingQuery(table, predicate, backend=spec, cache_labels=False)
+        if table.num_rows == 0:
+            assert query.evaluate(indices).size == 0
+            continue
+        observed.add(
+            (
+                query.evaluate(indices).tobytes(),
+                query.evaluations,
+                query.ground_truth_labels().tobytes(),
+            )
+        )
+    assert len(observed) <= 1
+
+
+# -- the seeded estimation workflow -------------------------------------------
+class TestSeededWorkflowParity:
+    def test_neighbors_workflow_parity(self):
+        report = run_backend_parity(num_rows=240, num_trials=2, fraction=0.1)
+        assert report.ok, report.mismatches
+        assert {row.backend for row in report.rows} == set(ALL_BACKEND_SPECS)
+        assert {row.method for row in report.rows} == set(METHODS)
+        # Backend choice is part of the task description (the fingerprint
+        # differs) but never of the result (the estimates digest does not).
+        by_method: dict[str, set[tuple[str, str]]] = {}
+        for row in report.rows:
+            by_method.setdefault(row.method, set()).add((row.task, row.estimates))
+        for method, cells in by_method.items():
+            assert len({task for task, _ in cells}) == len(ALL_BACKEND_SPECS), method
+            assert len({estimates for _, estimates in cells}) == 1, method
+
+    def test_parity_detects_divergence(self, monkeypatch):
+        # Sabotage one backend's labels and require the gate to trip.
+        from repro.query import backends as backends_module
+
+        original = backends_module.ChunkedBackend.evaluate
+
+        def corrupted(self, indices):
+            labels = original(self, indices)
+            if labels.size:
+                labels = labels.copy()
+                labels[0] = 1.0 - labels[0]
+            return labels
+
+        monkeypatch.setattr(backends_module.ChunkedBackend, "evaluate", corrupted)
+        report = run_backend_parity(
+            num_rows=160,
+            num_trials=1,
+            fraction=0.1,
+            backends=("numpy", "chunked:7"),
+            methods=("srs",),
+        )
+        assert not report.ok
+        assert any("chunked:7" in mismatch for mismatch in report.mismatches)
+
+
+class TestWorkloadAndMethodSpecs:
+    def test_workload_spec_carries_backend(self):
+        spec = WorkloadSpec(dataset="neighbors", num_rows=120, backend="chunked:7")
+        workload = spec.build()
+        assert workload.query.backend_spec == "chunked:7"
+        assert workload.spec.backend == "chunked:7"
+
+    def test_workload_spec_canonicalises_backend(self):
+        # Equal tasks must be equal (and hash-equal) specs: the per-process
+        # workload cache and the task fingerprint both key on the spec.
+        short = WorkloadSpec(dataset="neighbors", num_rows=120, backend="chunked")
+        long = WorkloadSpec(dataset="neighbors", num_rows=120, backend="chunked:4096")
+        assert short == long
+        assert hash(short) == hash(long)
+        with pytest.raises(ValueError):
+            WorkloadSpec(dataset="neighbors", backend="bogus")
+
+    def test_method_spec_normalises_backend(self):
+        assert MethodSpec(method="srs", backend="chunked").backend == "chunked:4096"
+        with pytest.raises(ValueError):
+            MethodSpec(method="srs", backend="bogus")
+
+    def test_method_spec_backend_override_is_byte_identical(self):
+        workload = WorkloadSpec(dataset="neighbors", num_rows=160, cache_labels=False).build()
+        budget = workload.sample_size(0.1)
+        digests = set()
+        for backend in (None, "sqlite", "chunked:7"):
+            runner = TrialRunner(workload=workload, num_trials=2, seed=7)
+            runner.run_method("srs", MethodSpec(method="srs", backend=backend), budget)
+            digests.add(
+                tuple(
+                    (e.count, e.predicate_evaluations) for e in runner.estimates["srs"]
+                )
+            )
+        assert len(digests) == 1

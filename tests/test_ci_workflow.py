@@ -43,7 +43,7 @@ class TestWorkflowStructure:
     def test_fast_job_matrix_and_tier(self, workflow):
         fast = workflow["jobs"]["fast"]
         versions = fast["strategy"]["matrix"]["python-version"]
-        assert versions == ["3.10", "3.11", "3.12"]
+        assert versions == ["3.10", "3.11", "3.12", "3.13"]
         steps = fast["steps"]
         setup = next(s for s in steps if str(s.get("uses", "")).startswith("actions/setup-python"))
         assert setup["with"]["cache"] == "pip"
@@ -55,6 +55,32 @@ class TestWorkflowStructure:
     def test_fast_job_lints(self, workflow):
         steps = workflow["jobs"]["fast"]["steps"]
         assert any("ruff check" in str(s.get("run", "")) for s in steps)
+
+    def test_fast_job_runs_backend_parity(self, workflow):
+        # The backend-parity gate: the seeded fingerprint workflow must run
+        # across the numpy / sqlite / chunked backends on every push and PR
+        # and fail the build on any byte-level estimate divergence.
+        steps = workflow["jobs"]["fast"]["steps"]
+        parity_step = next(
+            s for s in steps if "repro.experiments.parity" in str(s.get("run", ""))
+        )
+        assert str(parity_step.get("name", "")).lower() == "backend parity"
+
+    def test_jobs_cache_generated_datasets(self, workflow):
+        # Both tiers persist the generated seeded datasets between jobs,
+        # keyed on the dataset modules' content hash.
+        for name in ("fast", "full"):
+            job = workflow["jobs"][name]
+            assert job["env"]["REPRO_DATASET_CACHE"], name
+            cache_steps = [
+                s
+                for s in job["steps"]
+                if str(s.get("uses", "")).startswith("actions/cache")
+            ]
+            assert cache_steps, f"job {name} has no dataset cache step"
+            key = str(cache_steps[0]["with"]["key"])
+            assert "hashFiles('src/repro/datasets/*.py')" in key, name
+            assert cache_steps[0]["with"]["path"] == job["env"]["REPRO_DATASET_CACHE"], name
 
     def test_full_job_is_gated(self, workflow):
         full = workflow["jobs"]["full"]

@@ -1,0 +1,82 @@
+"""The opt-in on-disk dataset cache must be byte-exact and fail-safe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import cache as dataset_cache
+from repro.datasets.neighbors import generate_neighbors_table
+from repro.datasets.sports import generate_sports_table
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(dataset_cache.CACHE_ENV_VAR, str(tmp_path))
+    return tmp_path
+
+
+def _tables_equal(left, right) -> bool:
+    return left.column_names == right.column_names and all(
+        np.array_equal(left.column(name), right.column(name))
+        for name in left.column_names
+    )
+
+
+class TestCachedTable:
+    def test_disabled_without_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(dataset_cache.CACHE_ENV_VAR, raising=False)
+        assert dataset_cache.dataset_cache_dir() is None
+        generate_neighbors_table(num_rows=40, seed=11)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_hit_is_byte_identical(self, cache_dir, monkeypatch):
+        baseline = generate_neighbors_table(num_rows=60, seed=11)
+        assert len(list(cache_dir.glob("neighbors-*.npz"))) == 1
+
+        # Prove the second call never regenerates: the builder is replaced
+        # by a tripwire, so equality can only come from the archive.
+        from repro.datasets import neighbors as neighbors_module
+
+        def tripwire(*args, **kwargs):
+            raise AssertionError("cache miss: generator re-ran")
+
+        monkeypatch.setattr(neighbors_module, "_generate", tripwire)
+        from_cache = generate_neighbors_table(num_rows=60, seed=11)
+        assert _tables_equal(baseline, from_cache)
+
+    def test_different_parameters_different_entries(self, cache_dir):
+        generate_neighbors_table(num_rows=40, seed=11)
+        generate_neighbors_table(num_rows=40, seed=12)
+        generate_sports_table(num_rows=40, seed=7)
+        assert len(list(cache_dir.glob("neighbors-*.npz"))) == 2
+        assert len(list(cache_dir.glob("sports-*.npz"))) == 1
+
+    def test_generator_seeds_bypass_the_cache(self, cache_dir):
+        generate_sports_table(num_rows=30, seed=np.random.default_rng(5))
+        assert list(cache_dir.glob("sports-*.npz")) == []
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"not an archive",  # no zip magic -> ValueError from np.load
+            b"PK\x03\x04truncated central directory",  # zip magic -> BadZipFile
+        ],
+    )
+    def test_corrupt_entry_falls_back_to_regeneration(self, cache_dir, garbage):
+        baseline = generate_sports_table(num_rows=30, seed=7)
+        (entry,) = cache_dir.glob("sports-*.npz")
+        entry.write_bytes(garbage)
+        regenerated = generate_sports_table(num_rows=30, seed=7)
+        assert _tables_equal(baseline, regenerated)
+        assert not list(cache_dir.glob("*.tmp"))
+
+    def test_table_name_not_part_of_the_key(self, cache_dir):
+        first = generate_neighbors_table(num_rows=30, seed=11, name="alpha")
+        second = generate_neighbors_table(num_rows=30, seed=11, name="beta")
+        assert len(list(cache_dir.glob("neighbors-*.npz"))) == 1
+        assert second.name == "beta"
+        assert _tables_equal(
+            first.with_column("dummy", np.zeros(30)),
+            second.with_column("dummy", np.zeros(30)),
+        )
