@@ -1,0 +1,299 @@
+"""Tracked benchmark for the parallel trial engine: warm pool vs cold vs serial.
+
+Runs a figure2-style method sweep (srs / ssp / lws / lss) over one Sports
+workload three ways — serially in-process, through the legacy "cold" engine
+(fresh process pool + per-worker workload rebuild every run), and through the
+warm worker pool (persistent workers attached to shared-memory dataset
+pages) — then verifies all three produce **byte-identical** estimate
+fingerprints and reports the wall-clock ratios.  The driver emits
+``BENCH_parallel.json`` at the repository root so successive PRs leave a perf
+trajectory next to ``BENCH_micro.json``.
+
+The fingerprint identity is asserted unconditionally (a divergence is a hard
+failure everywhere, CI included).  The >=2x speedup-at-4-workers gate is only
+meaningful on hardware with at least 4 usable cores; on smaller runners the
+gate is recorded as ``skipped`` with the reason, never silently passed.
+
+Usage::
+
+    python benchmarks/run_parallel.py                   # writes BENCH_parallel.json
+    python benchmarks/run_parallel.py --scale small     # quick smoke sizes
+    python benchmarks/run_parallel.py --output /tmp/p.json --check-against BENCH_parallel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+_REPO_ROOT = pathlib.Path(__file__).parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.parallel import (  # noqa: E402
+    MethodSpec,
+    ParallelTrialRunner,
+    WarmPool,
+    available_workers,
+    clear_workload_cache,
+    default_start_method,
+    estimates_fingerprint,
+)
+from repro.workloads.queries import Workload, build_workload  # noqa: E402
+
+DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_parallel.json"
+
+#: Methods swept per path: the figure2 family, cheap samplers through the
+#: most expensive learned method.
+METHODS = ("srs", "ssp", "lws", "lss")
+
+MASTER_SEED = 20190621
+SAMPLE_FRACTION = 0.03
+
+#: The gate: warm pool at 4 workers must at least halve the serial sweep.
+TARGET_SPEEDUP = 2.0
+GATE_WORKERS = 4
+
+#: A re-measured speedup may regress to this fraction of the committed
+#: baseline before --check-against fails; below that it's a real regression,
+#: not timing noise.
+BASELINE_TOLERANCE = 0.8
+
+
+def _sweep_serial(workload: Workload, budget: int, trials: int) -> dict[str, dict]:
+    results: dict[str, dict] = {}
+    for method in METHODS:
+        clear_workload_cache()
+        runner = ParallelTrialRunner(
+            workload_spec=workload.spec,
+            num_trials=trials,
+            seed=MASTER_SEED,
+            workers=1,
+            workload=workload,
+        )
+        started = time.perf_counter()
+        runner.run(method, MethodSpec(method), budget)
+        results[method] = {
+            "seconds": time.perf_counter() - started,
+            "fingerprint": estimates_fingerprint(runner.estimates[method]),
+        }
+    return results
+
+
+def _sweep_cold(workload: Workload, budget: int, trials: int, workers: int) -> dict[str, dict]:
+    """Legacy engine: every method pays a fresh pool + per-worker rebuild."""
+    results: dict[str, dict] = {}
+    for method in METHODS:
+        clear_workload_cache()
+        runner = ParallelTrialRunner(
+            workload_spec=workload.spec,
+            num_trials=trials,
+            seed=MASTER_SEED,
+            workers=workers,
+            workload=workload,
+            dispatch="cold",
+        )
+        started = time.perf_counter()
+        runner.run(method, MethodSpec(method), budget)
+        results[method] = {
+            "seconds": time.perf_counter() - started,
+            "fingerprint": estimates_fingerprint(runner.estimates[method]),
+        }
+    return results
+
+
+def _sweep_warm(
+    workload: Workload, budget: int, trials: int, workers: int
+) -> tuple[dict[str, dict], float]:
+    """Warm pool: start-up paid once (timed separately), then streamed tasks."""
+    results: dict[str, dict] = {}
+    started = time.perf_counter()
+    with WarmPool(workload, workers=workers) as pool:
+        pool.warm_up()
+        startup_seconds = time.perf_counter() - started
+        for method in METHODS:
+            runner = ParallelTrialRunner(
+                workload_spec=workload.spec,
+                num_trials=trials,
+                seed=MASTER_SEED,
+                workers=workers,
+                workload=workload,
+                pool=pool,
+            )
+            method_started = time.perf_counter()
+            runner.run(method, MethodSpec(method), budget)
+            results[method] = {
+                "seconds": time.perf_counter() - method_started,
+                "fingerprint": estimates_fingerprint(runner.estimates[method]),
+            }
+    return results, startup_seconds
+
+
+def _gate(total_serial: float, total_warm: float, usable: int, workers: int) -> dict:
+    speedup = total_serial / total_warm if total_warm > 0 else float("inf")
+    gate = {
+        "name": f"warm_pool_speedup_at_{workers}_workers",
+        "target": TARGET_SPEEDUP,
+        "speedup": round(speedup, 3),
+        "usable_cores": usable,
+    }
+    if usable < workers:
+        gate["status"] = "skipped"
+        gate["reason"] = (
+            f"needs >= {workers} usable cores to be meaningful, found {usable} "
+            "(CPU-affinity aware); fingerprint identity was still asserted"
+        )
+    else:
+        gate["status"] = "pass" if speedup >= TARGET_SPEEDUP else "fail"
+    return gate
+
+
+def run_suite(scale: str = "full", trials: int | None = None, workers: int = GATE_WORKERS) -> dict:
+    """Run the three-way sweep and assemble the trajectory document."""
+    num_rows = 12_000 if scale == "full" else 2_000
+    if trials is None:
+        trials = 16 if scale == "full" else 6
+    workload = build_workload("sports", level="S", num_rows=num_rows)
+    budget = workload.sample_size(SAMPLE_FRACTION)
+    # Warm the bulk label cache once, outside all timed regions, so no path
+    # absorbs the one-off full-table predicate scan.
+    workload.query.export_label_cache(compute=True)
+
+    serial = _sweep_serial(workload, budget, trials)
+    cold = _sweep_cold(workload, budget, trials, workers)
+    warm, startup_seconds = _sweep_warm(workload, budget, trials, workers)
+
+    methods = []
+    for method in METHODS:
+        expected = serial[method]["fingerprint"]
+        for label, sweep in (("cold", cold), ("warm", warm)):
+            actual = sweep[method]["fingerprint"]
+            assert actual == expected, (
+                f"{label} dispatch diverged from serial for {method}: "
+                f"{actual} != {expected}"
+            )
+        methods.append(
+            {
+                "method": method,
+                "serial_seconds": serial[method]["seconds"],
+                "cold_seconds": cold[method]["seconds"],
+                "warm_seconds": warm[method]["seconds"],
+                "fingerprint": expected,
+            }
+        )
+        print(
+            f"{method:6s} serial {serial[method]['seconds']*1e3:8.1f} ms  "
+            f"cold {cold[method]['seconds']*1e3:8.1f} ms  "
+            f"warm {warm[method]['seconds']*1e3:8.1f} ms"
+        )
+
+    total_serial = sum(entry["serial_seconds"] for entry in methods)
+    total_cold = sum(entry["cold_seconds"] for entry in methods)
+    total_warm = sum(entry["warm_seconds"] for entry in methods)
+    usable = available_workers()
+    gate = _gate(total_serial, total_warm, usable, workers)
+    totals = {
+        "serial_seconds": total_serial,
+        "cold_seconds": total_cold,
+        "warm_seconds": total_warm,
+        "warm_startup_seconds": startup_seconds,
+        "warm_speedup_vs_serial": round(total_serial / total_warm, 3) if total_warm else None,
+        "warm_speedup_vs_cold": round(total_cold / total_warm, 3) if total_warm else None,
+    }
+    print(
+        f"totals serial {total_serial:.2f} s  cold {total_cold:.2f} s  "
+        f"warm {total_warm:.2f} s (+{startup_seconds:.2f} s startup)  "
+        f"gate {gate['status']} ({gate['speedup']}x vs {gate['target']}x target)"
+    )
+    return {
+        "suite": "parallel-engine",
+        "scale": scale,
+        "trials_per_method": trials,
+        "workers": workers,
+        "usable_cores": usable,
+        "start_method": default_start_method(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "fingerprints_identical": True,  # a divergence would have raised above
+        "methods": methods,
+        "totals": totals,
+        "gate": gate,
+    }
+
+
+def check_against(document: dict, baseline_path: pathlib.Path) -> int:
+    """Compare a fresh run against the committed baseline document.
+
+    Returns a process exit code.  The rules, in order:
+
+    * current gate ``skipped`` (too few usable cores): notice, exit 0 — a
+      small CI runner must not fail the build for hardware it doesn't have;
+    * current gate ``fail``: exit 1 — the warm pool lost its 2x floor;
+    * baseline measurable too: exit 1 if the fresh speedup dropped below
+      ``BASELINE_TOLERANCE`` of the committed one.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    current_gate = document["gate"]
+    baseline_gate = baseline.get("gate", {})
+    if current_gate["status"] == "skipped":
+        print(f"NOTICE: speedup gate skipped: {current_gate['reason']}")
+        return 0
+    if current_gate["status"] == "fail":
+        print(
+            f"FAIL: warm-pool speedup {current_gate['speedup']}x is below the "
+            f"{current_gate['target']}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    if baseline_gate.get("status") in (None, "skipped"):
+        print(
+            f"gate pass at {current_gate['speedup']}x "
+            "(committed baseline had no measurable speedup to compare against)"
+        )
+        return 0
+    floor = BASELINE_TOLERANCE * float(baseline_gate["speedup"])
+    if current_gate["speedup"] < floor:
+        print(
+            f"FAIL: warm-pool speedup regressed to {current_gate['speedup']}x; "
+            f"committed baseline is {baseline_gate['speedup']}x "
+            f"(tolerance floor {floor:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"gate pass at {current_gate['speedup']}x "
+        f"(baseline {baseline_gate['speedup']}x, floor {floor:.2f}x)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--scale", choices=("small", "full"), default="full")
+    parser.add_argument("--trials", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=GATE_WORKERS)
+    parser.add_argument(
+        "--check-against",
+        type=pathlib.Path,
+        default=None,
+        help="committed BENCH_parallel.json to compare the fresh run against",
+    )
+    args = parser.parse_args(argv)
+    document = run_suite(scale=args.scale, trials=args.trials, workers=args.workers)
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if args.check_against is not None:
+        return check_against(document, args.check_against)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,7 +62,15 @@ def _cache_key(kind: str, parameters: Mapping[str, object]) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 
-def _load(path: Path, name: str) -> Table | None:
+def load_archive_columns(path: Path) -> tuple[list[str], dict[str, np.ndarray]] | None:
+    """Read a cache archive as raw column pages (order, name -> array).
+
+    Shared by :func:`cached_table` (which wraps the pages in a
+    :class:`~repro.query.table.Table`) and the shared-memory layer
+    (:func:`repro.parallel.shm.publish_cached_dataset`, which copies them
+    straight into segments without building a table).  Returns ``None`` for
+    any unreadable or malformed entry.
+    """
     try:
         with np.load(path, allow_pickle=False) as archive:
             order = [str(column) for column in archive[_ORDER_KEY]]
@@ -72,6 +80,26 @@ def _load(path: Path, name: str) -> Table | None:
         # archive members, non-zip garbage (ValueError) and zip-magic files
         # with a corrupt directory (BadZipFile, which is not an OSError).
         return None
+    return order, columns
+
+
+def cached_archive_path(kind: str, parameters: Mapping[str, object]) -> Path | None:
+    """Path the archive for ``(kind, parameters)`` would live at, if cacheable.
+
+    ``None`` when caching is disabled or the parameters have no stable key;
+    the file itself may or may not exist yet.
+    """
+    root = dataset_cache_dir()
+    if root is None or not _is_plain(parameters):
+        return None
+    return root / f"{kind}-{_cache_key(kind, parameters)}.npz"
+
+
+def _load(path: Path, name: str) -> Table | None:
+    loaded = load_archive_columns(path)
+    if loaded is None:
+        return None
+    _, columns = loaded
     return Table(columns, name=name)
 
 
@@ -110,10 +138,9 @@ def cached_table(
     the key — the same rows materialised under a different name reuse the
     same archive.
     """
-    root = dataset_cache_dir()
-    if root is None or not _is_plain(parameters):
+    path = cached_archive_path(kind, parameters)
+    if path is None:
         return builder()
-    path = root / f"{kind}-{_cache_key(kind, parameters)}.npz"
     if path.is_file():
         table = _load(path, name)
         if table is not None:

@@ -86,9 +86,10 @@ def run_distribution(
 
     ``trial`` is either a :class:`MethodSpec` (parallelisable) or a legacy
     ``run_trial(workload, rng, budget)`` callable (always serial).  With
-    ``workers > 1`` a spec-described method is sharded across a process
-    pool; the estimates — and therefore the summary — are byte-identical to
-    the serial run with the same seed.
+    ``workers > 1`` a spec-described method is sharded across the warm
+    worker pool (shared-memory dataset pages, persistent workers — see
+    :mod:`repro.parallel.pool`); the estimates — and therefore the summary —
+    are byte-identical to the serial run with the same seed.
     """
     budget = workload.sample_size(fraction)
     if isinstance(trial, MethodSpec):

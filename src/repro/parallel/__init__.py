@@ -5,36 +5,70 @@ distribution over independent trials — but naive fan-out breaks the one
 property a reproduction cannot give up: seed-exact results.  This package
 makes parallelism a pure performance knob:
 
+* :class:`~repro.parallel.pool.WarmPool` — a persistent worker pool whose
+  workers attach zero-copy to shared-memory dataset pages
+  (:mod:`~repro.parallel.shm`), resolve the workload **once** at start-up,
+  and then stream compact trial tasks; pools are shared process-wide so a
+  multi-method sweep pays start-up once.
+* :mod:`~repro.parallel.shm` — publishes dataset columns, label caches and
+  npz-cache pages into ``multiprocessing.shared_memory`` segments with a
+  tiny picklable manifest, with pid-guarded unlink-on-exit hygiene.
 * :class:`~repro.parallel.engine.ExecutionEngine` — chunked, order-
-  preserving process-pool map with a zero-overhead serial path.
+  preserving process-pool map with a zero-overhead serial path (the legacy
+  "cold" dispatch, and still the engine behind generic array fan-out).
 * :class:`~repro.parallel.methods.MethodSpec` /
   :class:`~repro.workloads.queries.WorkloadSpec` /
   :class:`~repro.parallel.tasks.TrialTask` — pickle-safe descriptions of
   what to run, so closures never cross process boundaries.
 * :class:`~repro.parallel.runner.ParallelTrialRunner` — shards trials over
-  workers using the same per-trial child streams as the serial runner,
-  shares the bulk label cache across processes, and reduces compact
-  per-trial records into the usual distribution summaries.  Results are
-  byte-identical to serial execution for the same master seed.
+  workers using the same per-trial child streams as the serial runner and
+  reduces compact per-trial records (or bare fingerprint digests, via
+  ``run_fingerprints``) into the usual distribution summaries.  Results
+  are byte-identical to serial execution for the same master seed.
 * :mod:`~repro.parallel.fingerprint` — byte-exact estimate fingerprints
   used to audit that guarantee.
 """
 
 from repro.parallel.batch import predict_scores_chunked
-from repro.parallel.engine import ExecutionEngine, available_workers, resolve_worker_count
+from repro.parallel.engine import (
+    ExecutionEngine,
+    available_workers,
+    reset_oversubscription_warning,
+    resolve_worker_count,
+)
 from repro.parallel.fingerprint import (
     distribution_fingerprint,
+    estimate_digest,
     estimate_fingerprint,
     estimates_fingerprint,
+    fingerprints_digest,
     task_fingerprint,
 )
 from repro.parallel.methods import METHODS, MethodSpec, classifier_factory
+from repro.parallel.pool import (
+    METHOD_COST_HINTS,
+    WarmPool,
+    close_shared_pools,
+    default_start_method,
+    dispatch_chunk_size,
+    shared_pool,
+)
 from repro.parallel.runner import ParallelTrialRunner, run_trials_parallel
+from repro.parallel.shm import (
+    PageManifest,
+    attach_pages,
+    publish_arrays,
+    publish_cached_dataset,
+    publish_workload_pages,
+    table_from_pages,
+)
 from repro.parallel.tasks import (
+    TrialFingerprint,
     TrialResult,
     TrialTask,
     clear_workload_cache,
     execute_trial_chunk,
+    execute_trials,
     prime_workload_cache,
     run_single_trial,
 )
@@ -43,22 +77,39 @@ from repro.workloads.queries import WorkloadSpec
 __all__ = [
     "ExecutionEngine",
     "METHODS",
+    "METHOD_COST_HINTS",
     "MethodSpec",
+    "PageManifest",
     "ParallelTrialRunner",
+    "TrialFingerprint",
     "TrialResult",
     "TrialTask",
+    "WarmPool",
     "WorkloadSpec",
+    "attach_pages",
     "available_workers",
     "classifier_factory",
     "clear_workload_cache",
+    "close_shared_pools",
+    "default_start_method",
+    "dispatch_chunk_size",
     "distribution_fingerprint",
+    "estimate_digest",
     "estimate_fingerprint",
     "estimates_fingerprint",
     "execute_trial_chunk",
+    "execute_trials",
+    "fingerprints_digest",
     "predict_scores_chunked",
     "prime_workload_cache",
+    "publish_arrays",
+    "publish_cached_dataset",
+    "publish_workload_pages",
+    "reset_oversubscription_warning",
     "resolve_worker_count",
     "run_single_trial",
     "run_trials_parallel",
+    "shared_pool",
+    "table_from_pages",
     "task_fingerprint",
 ]

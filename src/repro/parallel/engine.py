@@ -16,6 +16,7 @@ import functools
 import math
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -30,24 +31,63 @@ _OVERSUBSCRIPTION = 2
 
 
 def available_workers() -> int:
-    """Number of CPUs this process may actually use (affinity-aware)."""
+    """Number of CPUs this process may actually use (affinity-aware).
+
+    Container CPU quotas and ``taskset`` pin processes to a subset of the
+    machine's cores; ``os.cpu_count()`` ignores that, so the engine asks the
+    scheduler (``os.sched_getaffinity``) where the call exists.  This is the
+    ``usable_cores`` figure every diagnostics / benchmark document reports.
+    """
     try:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux fallback
         return os.cpu_count() or 1
 
 
-def resolve_worker_count(workers: int | None) -> int:
+#: One oversubscription warning per process — benchmark sweeps resolve the
+#: knob hundreds of times and a warning per resolution would drown the run.
+_oversubscription_warned = False
+
+
+def reset_oversubscription_warning() -> None:
+    """Re-arm the once-per-process oversubscription warning (tests)."""
+    global _oversubscription_warned
+    _oversubscription_warned = False
+
+
+def _warn_if_oversubscribed(resolved: int) -> None:
+    global _oversubscription_warned
+    if _oversubscription_warned:
+        return
+    usable = available_workers()
+    if resolved > usable:
+        _oversubscription_warned = True
+        warnings.warn(
+            f"requested {resolved} workers but only {usable} usable core(s) are "
+            "available to this process (CPU-affinity aware); the pool will "
+            "oversubscribe and parallel execution may be slower than serial",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def resolve_worker_count(workers: int | None, warn: bool = True) -> int:
     """Normalise a ``workers=`` knob value.
 
-    ``None`` or ``0`` means "use the available hardware"; negative values
-    are rejected.  Values above the item count are clamped later, at chunk
-    time, not here.
+    ``None`` or ``0`` means "use the usable hardware" — affinity-aware, so a
+    process pinned to 2 of 64 cores gets 2 workers, not 64.  Negative values
+    are rejected; values above the item count are clamped later, at chunk
+    time, not here.  Explicitly requesting more workers than there are
+    usable cores is honoured (oversubscription is occasionally wanted) but
+    warned about once per process, because it silently produced the
+    historical 0.52x "speedup": the benchmark ran 4 workers on 1 core.
     """
     if workers is None or workers == 0:
         return available_workers()
     if workers < 0:
         raise ValueError(f"workers must be non-negative, got {workers}")
+    if warn:
+        _warn_if_oversubscribed(workers)
     return workers
 
 
@@ -104,6 +144,24 @@ class ExecutionEngine:
         state through task payloads.
         """
         return self._context().get_start_method() == "fork"
+
+    def diagnostics(self) -> dict[str, object]:
+        """How this engine would actually execute, hardware included.
+
+        ``usable_cores`` is the affinity-aware CPU count; ``oversubscribed``
+        flags the configuration that made the historical parallel benchmark
+        lose to serial (more workers than usable cores).
+        """
+        resolved = resolve_worker_count(self.workers, warn=False)
+        usable = available_workers()
+        return {
+            "requested_workers": self.workers,
+            "resolved_workers": resolved,
+            "usable_cores": usable,
+            "oversubscribed": resolved > usable,
+            "start_method": self._context().get_start_method(),
+            "chunk_size": self.chunk_size,
+        }
 
     def map(self, function: Callable[[Item], Result], items: Iterable[Item]) -> list[Result]:
         """Apply ``function`` to every item, preserving input order.

@@ -30,8 +30,13 @@ def _pack_int(value: int) -> bytes:
     return struct.pack("<q", int(value))
 
 
-def estimate_fingerprint(estimate: CountEstimate) -> str:
-    """Hex digest of every deterministic field of one estimate."""
+def estimate_digest(estimate: CountEstimate) -> bytes:
+    """Raw 32-byte digest of one estimate (the compact wire form).
+
+    The warm pool's fingerprint result mode ships exactly these bytes back
+    from the workers — 32 bytes per trial instead of a whole result record —
+    when the caller only needs equivalence verification.
+    """
     digest = hashlib.sha256()
     digest.update(estimate.method.encode())
     digest.update(_pack_float(estimate.count))
@@ -48,15 +53,31 @@ def estimate_fingerprint(estimate: CountEstimate) -> str:
         digest.update(_pack_float(interval.low))
         digest.update(_pack_float(interval.high))
         digest.update(_pack_float(interval.confidence))
-    return digest.hexdigest()
+    return digest.digest()
+
+
+def estimate_fingerprint(estimate: CountEstimate) -> str:
+    """Hex digest of every deterministic field of one estimate."""
+    return estimate_digest(estimate).hex()
 
 
 def estimates_fingerprint(estimates: Iterable[CountEstimate]) -> str:
     """Hex digest over an ordered sequence of estimates (one experiment)."""
-    digest = hashlib.sha256()
-    for estimate in estimates:
-        digest.update(estimate_fingerprint(estimate).encode())
-    return digest.hexdigest()
+    return fingerprints_digest(estimate_digest(estimate) for estimate in estimates)
+
+
+def fingerprints_digest(digests: Iterable[bytes]) -> str:
+    """Combine ordered per-trial digest bytes into one experiment fingerprint.
+
+    Defined so that ``fingerprints_digest(map(estimate_digest, estimates))``
+    equals ``estimates_fingerprint(estimates)`` — a fingerprint-mode warm
+    pool run (which ships only digest bytes) is directly comparable to a
+    serial run that kept the full estimates.
+    """
+    combined = hashlib.sha256()
+    for digest in digests:
+        combined.update(digest.hex().encode())
+    return combined.hexdigest()
 
 
 def _update_with_fields(digest: "hashlib._Hash", spec: object) -> None:

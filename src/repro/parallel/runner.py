@@ -1,15 +1,30 @@
 """Deterministic parallel counterpart of :class:`~repro.workloads.runner.TrialRunner`.
 
-Trials are sharded across a process pool in contiguous chunks; every trial
+Trials are sharded across worker processes in contiguous chunks; every trial
 ``i`` draws from the same child stream ``spawn_seeds(seed, n)[i]`` it would
-receive serially, workers rebuild (or inherit) an identical workload from
-the pickle-safe spec, and per-trial accounting is scoped to the task — so
-the resulting estimates are **byte-identical** to a serial run with the same
-master seed, for any worker count and any chunking.
+receive serially, workers hold (or rebuild) an identical workload, and
+per-trial accounting is scoped to the task — so the resulting estimates are
+**byte-identical** to a serial run with the same master seed, for any worker
+count and any chunking.
+
+Two dispatch strategies exist:
+
+* ``dispatch="warm"`` (the default) — a persistent
+  :class:`~repro.parallel.pool.WarmPool` whose workers attach zero-copy to
+  shared-memory dataset pages and resolve the workload **once**, then
+  stream compact :class:`~repro.parallel.tasks.TrialTask` descriptors.
+  Pools are shared process-wide per ``(spec, workers, start_method)``, so a
+  multi-method sweep pays pool start-up once.
+* ``dispatch="cold"`` — the legacy per-run
+  :class:`~repro.parallel.engine.ExecutionEngine` path, which creates a
+  fresh process pool per run and rebuilds the workload per worker from its
+  spec.  Kept as the baseline the warm pool is benchmarked against
+  (``benchmarks/run_parallel.py``).
 
 The reduce step ships only compact :class:`~repro.parallel.tasks.TrialResult`
-records back to the parent, which reassembles them in trial order and
-summarises the distribution exactly as the serial runner does.
+records — or, for verification-only callers
+(:meth:`ParallelTrialRunner.run_fingerprints`), 32-byte digests — back to
+the parent, which reassembles them in trial order.
 """
 
 from __future__ import annotations
@@ -20,15 +35,25 @@ from dataclasses import dataclass, field
 from repro.core.estimate import CountEstimate
 from repro.parallel.engine import ExecutionEngine, resolve_worker_count
 from repro.parallel.methods import MethodSpec
-from repro.parallel.tasks import TrialTask, execute_trial_chunk, prime_workload_cache
+from repro.parallel.fingerprint import fingerprints_digest
+from repro.parallel.pool import WarmPool, shared_pool
+from repro.parallel.tasks import (
+    TrialTask,
+    execute_trial_chunk,
+    execute_trials,
+    prime_workload_cache,
+)
 from repro.sampling.rng import SeedLike, spawn_seed_descriptors
 from repro.workloads.metrics import EstimateDistribution, summarize_estimates
 from repro.workloads.queries import Workload, WorkloadSpec
 
+#: Valid values of :attr:`ParallelTrialRunner.dispatch`.
+DISPATCH_MODES = ("warm", "cold")
+
 
 @dataclass
 class ParallelTrialRunner:
-    """Run an estimator's trials across a process pool, deterministically.
+    """Run an estimator's trials across worker processes, deterministically.
 
     Attributes:
         workload_spec: recipe for the workload; workers rebuild from it.
@@ -36,13 +61,21 @@ class ParallelTrialRunner:
         seed: master seed; trial ``i`` gets child stream ``i`` exactly as in
             the serial runner.
         workers: process count (``1`` = in-process serial execution;
-            ``None``/``0`` = all available CPUs).
-        chunk_size: trials per dispatched chunk; sized to the data when
+            ``None``/``0`` = all usable CPUs, affinity-aware).
+        chunk_size: trials per dispatched chunk; cost-aware sizing when
             omitted.
         workload: optionally, an already-built workload matching the spec.
-            Its bulk label cache is shared with the workers (shipped under
-            ``spawn``, inherited under ``fork``) so the expensive predicate
-            scan runs once per experiment instead of once per worker.
+            Its dataset pages and bulk label cache are shared with the
+            workers through shared memory, so the expensive predicate scan
+            runs once per experiment instead of once per worker.
+        dispatch: ``"warm"`` (persistent shared-page pool, the default) or
+            ``"cold"`` (legacy per-run executor).  Results are identical;
+            only wall-clock differs.
+        start_method: multiprocessing start method for warm dispatch
+            (``None`` = ``fork`` where available, else ``spawn``).
+        pool: an externally managed :class:`~repro.parallel.pool.WarmPool`
+            to dispatch on, instead of the process-wide shared pool.  The
+            caller keeps ownership (and the close responsibility).
     """
 
     workload_spec: WorkloadSpec
@@ -51,16 +84,77 @@ class ParallelTrialRunner:
     workers: int | None = 1
     chunk_size: int | None = None
     workload: Workload | None = None
+    dispatch: str = "warm"
+    start_method: str | None = None
+    pool: WarmPool | None = None
     estimates: dict[str, list[CountEstimate]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.workload is not None and self.workload.spec not in (None, self.workload_spec):
             raise ValueError("prebuilt workload does not match workload_spec")
+        if self.dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"unknown dispatch {self.dispatch!r}; choose from {DISPATCH_MODES}"
+            )
 
     def _materialised_workload(self) -> Workload:
         if self.workload is None:
             self.workload = self.workload_spec.build()
         return self.workload
+
+    def _tasks(self, budget: int) -> list[TrialTask]:
+        if self.num_trials <= 0:
+            raise ValueError("num_trials must be positive")
+        seeds = spawn_seed_descriptors(self.seed, self.num_trials)
+        return [
+            TrialTask(trial_index=index, seed=descriptor, budget=budget)
+            for index, descriptor in enumerate(seeds)
+        ]
+
+    def _execute(self, method_spec: MethodSpec, budget: int, result_mode: str) -> list:
+        workers = resolve_worker_count(self.workers)
+        workload = self._materialised_workload()
+        tasks = self._tasks(budget)
+        if workers <= 1:
+            # Zero pool overhead; also prime the per-process cache so any
+            # nested cold-path helper resolves to this exact workload.
+            prime_workload_cache(self.workload_spec, workload)
+            return execute_trials(workload, method_spec, tuple(tasks), result_mode=result_mode)
+        if self.dispatch == "warm":
+            pool = self.pool
+            if pool is None:
+                pool = shared_pool(workload, workers, self.start_method)
+            results = pool.run(
+                method_spec, tasks, result_mode=result_mode, chunk_size=self.chunk_size
+            )
+        else:
+            results = self._run_cold(method_spec, tasks, workers, result_mode)
+        return sorted(results, key=lambda result: result.trial_index)
+
+    def _run_cold(
+        self, method_spec: MethodSpec, tasks: list[TrialTask], workers: int, result_mode: str
+    ) -> list:
+        """Legacy path: fresh executor per run, per-worker workload rebuild."""
+        workload = self._materialised_workload()
+        engine = ExecutionEngine(workers=workers, chunk_size=self.chunk_size)
+        shared_labels = None
+        if workload.query.cache_labels:
+            # Share the bulk label cache: computed once here, inherited by
+            # fork workers via the primed cache, and shipped alongside each
+            # chunk only when workers cannot inherit it (spawn), to avoid
+            # re-pickling the array per chunk for nothing.
+            labels = workload.query.export_label_cache(compute=True)
+            if not engine.workers_inherit_parent_state():
+                shared_labels = labels
+        prime_workload_cache(self.workload_spec, workload)
+        chunk_function = functools.partial(
+            _cold_chunk,
+            self.workload_spec,
+            method_spec,
+            shared_labels,
+            result_mode,
+        )
+        return engine.map_chunks(chunk_function, tasks)
 
     def run(self, method_name: str, method_spec: MethodSpec, budget: int) -> EstimateDistribution:
         """Run ``num_trials`` independent trials of one estimator.
@@ -70,42 +164,25 @@ class ParallelTrialRunner:
             method_spec: pickle-safe description of the estimator to run.
             budget: predicate evaluations each trial may spend.
         """
-        if self.num_trials <= 0:
-            raise ValueError("num_trials must be positive")
-        workers = resolve_worker_count(self.workers)
-        workload = self._materialised_workload()
-        seeds = spawn_seed_descriptors(self.seed, self.num_trials)
-        tasks = [
-            TrialTask(trial_index=index, seed=descriptor, budget=budget)
-            for index, descriptor in enumerate(seeds)
-        ]
-
-        engine = ExecutionEngine(workers=workers, chunk_size=self.chunk_size)
-        shared_labels = None
-        if workers > 1 and workload.query.cache_labels:
-            # Share the bulk label cache: computed once here, inherited by
-            # fork workers via the primed cache, and shipped alongside each
-            # chunk only when workers cannot inherit it (spawn), to avoid
-            # re-pickling the array per chunk for nothing.
-            labels = workload.query.export_label_cache(compute=True)
-            if not engine.workers_inherit_parent_state():
-                shared_labels = labels
-        # Priming also serves the in-process path: execute_trial_chunk
-        # resolves its workload through the cache, so serial runs reuse this
-        # exact workload instead of rebuilding one.
-        prime_workload_cache(self.workload_spec, workload)
-
-        chunk_function = functools.partial(
-            execute_trial_chunk,
-            self.workload_spec,
-            method_spec,
-            shared_labels=shared_labels,
-        )
-        results = engine.map_chunks(chunk_function, tasks)
-        ordered = sorted(results, key=lambda result: result.trial_index)
+        ordered = self._execute(method_spec, budget, result_mode="estimates")
         collected = [result.to_estimate() for result in ordered]
         self.estimates[method_name] = collected
-        return summarize_estimates(method_name, collected, workload.true_count)
+        return summarize_estimates(
+            method_name, collected, self._materialised_workload().true_count
+        )
+
+    def run_fingerprints(self, method_spec: MethodSpec, budget: int) -> str:
+        """Run the trials but return only the combined estimate fingerprint.
+
+        The verification fast path: workers buffer each trial down to its
+        32-byte digest, so fingerprint bytes — not whole result objects —
+        cross the pipe.  The returned hex digest equals
+        ``estimates_fingerprint(...)`` of the estimates a :meth:`run` with
+        the same configuration would have produced; nothing is stored on
+        :attr:`estimates`.
+        """
+        ordered = self._execute(method_spec, budget, result_mode="fingerprints")
+        return fingerprints_digest(result.digest for result in ordered)
 
     def distribution(self, method_name: str) -> EstimateDistribution:
         """Summarise the stored estimates of a previously run method."""
@@ -114,6 +191,23 @@ class ParallelTrialRunner:
         return summarize_estimates(
             method_name, self.estimates[method_name], self._materialised_workload().true_count
         )
+
+
+def _cold_chunk(
+    workload_spec: WorkloadSpec,
+    method_spec: MethodSpec,
+    shared_labels,
+    result_mode: str,
+    tasks: tuple[TrialTask, ...],
+) -> list:
+    """Cold worker chunk function (module-level, picklable by reference)."""
+    if result_mode == "estimates":
+        return execute_trial_chunk(workload_spec, method_spec, tasks, shared_labels=shared_labels)
+    from repro.parallel.tasks import _workload_for
+
+    return execute_trials(
+        _workload_for(workload_spec, shared_labels), method_spec, tasks, result_mode=result_mode
+    )
 
 
 def run_trials_parallel(
@@ -125,6 +219,8 @@ def run_trials_parallel(
     seed: SeedLike = 0,
     workers: int | None = 1,
     chunk_size: int | None = None,
+    dispatch: str = "warm",
+    start_method: str | None = None,
 ) -> EstimateDistribution:
     """Convenience wrapper: parallel trials over an already-built workload."""
     if workload.spec is None:
@@ -139,5 +235,7 @@ def run_trials_parallel(
         workers=workers,
         chunk_size=chunk_size,
         workload=workload,
+        dispatch=dispatch,
+        start_method=start_method,
     )
     return runner.run(method_name, method_spec, budget)

@@ -1,0 +1,344 @@
+"""Shared-memory dataset pages for the warm worker pool.
+
+Worker processes must never re-derive bulk state the parent already holds:
+dataset columns and the bulk predicate label cache are published once into
+``multiprocessing.shared_memory`` segments, and workers map them zero-copy
+from a tiny picklable :class:`PageManifest` (segment name, dtype, shape per
+page) instead of unpickling megabytes per chunk.  The npz archives written
+by :mod:`repro.datasets.cache` can be published directly as pages too, so a
+cache hit never materialises a private copy in the parent at all.
+
+Lifecycle rules keep ``/dev/shm`` clean across repeated benchmark runs and
+crashed workers:
+
+* the *creating* process owns the segments — :class:`PublishedPages` is a
+  context manager whose exit (or an ``atexit`` fallback) unlinks them;
+* attaching processes never unlink; their handles are excluded from the
+  stdlib resource tracker (``track=False`` on Python 3.13+, explicit
+  unregister before) so a worker exiting cannot tear pages out from under
+  its siblings;
+* ownership is pid-guarded: a forked child that inherits a
+  :class:`PublishedPages` object can close its handle but can never unlink
+  the parent's segments.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.query.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.workloads.queries import Workload
+
+#: Every segment this module creates starts with this prefix, so tests (and
+#: humans) can audit ``/dev/shm`` for leaks without false positives.
+SEGMENT_PREFIX = "repro-"
+
+#: Manifest key prefix for table columns; the remainder is the column name.
+TABLE_COLUMN_PREFIX = "col:"
+
+#: Manifest key of the bulk predicate label cache, when published.
+LABELS_KEY = "labels"
+
+_SEQUENCE = itertools.count()
+
+#: Segments created by *this* process, by name — the atexit fallback unlinks
+#: exactly these.  Forked children inherit the dict but not the owner pid.
+_OWNED: dict[str, tuple[int, shared_memory.SharedMemory]] = {}
+
+
+def _new_segment_name() -> str:
+    # Short (POSIX shm names are capped near 31 chars on some platforms) but
+    # collision-safe across processes and repeated runs.
+    return f"{SEGMENT_PREFIX}{os.getpid():x}-{next(_SEQUENCE):x}-{secrets.token_hex(3)}"
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without adopting cleanup responsibility.
+
+    Python 3.13+ supports this directly (``track=False``).  Earlier
+    interpreters register the attachment with the resource tracker, which is
+    harmless here: pool workers inherit the parent's tracker process, where
+    ``register`` is idempotent, so the only unregister is the owner's
+    eventual ``unlink`` — no double-accounting, no tracker-side unlink of a
+    segment someone else still maps.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+@dataclass(frozen=True)
+class SharedPage:
+    """One published array: where it lives and how to view it."""
+
+    key: str
+    segment: str
+    dtype: str
+    shape: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PageManifest:
+    """Picklable description of a set of shared pages.
+
+    This is all that crosses the process boundary: names, dtypes and shapes,
+    plus small string metadata (table name, column order) — never the data.
+    """
+
+    pages: tuple[SharedPage, ...]
+    meta: tuple[tuple[str, str], ...] = ()
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(page.key for page in self.pages)
+
+    def meta_value(self, key: str, default: str | None = None) -> str | None:
+        for name, value in self.meta:
+            if name == key:
+                return value
+        return default
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(
+            int(np.prod(page.shape, dtype=np.int64)) * np.dtype(page.dtype).itemsize
+            for page in self.pages
+        )
+
+
+def _view(segment: shared_memory.SharedMemory, page: SharedPage) -> np.ndarray:
+    view: np.ndarray = np.ndarray(page.shape, dtype=np.dtype(page.dtype), buffer=segment.buf)
+    return view
+
+
+class PublishedPages:
+    """Owner-side handle for a set of published segments (context manager)."""
+
+    def __init__(self, manifest: PageManifest, segments: dict[str, shared_memory.SharedMemory]):
+        self.manifest = manifest
+        self._segments = segments
+        self._owner_pid = os.getpid()
+        self._closed = False
+
+    def array(self, key: str) -> np.ndarray:
+        """Read-only view of one published page (owner-side convenience)."""
+        for page in self.manifest.pages:
+            if page.key == key:
+                view = _view(self._segments[page.segment], page)
+                view.flags.writeable = False
+                return view
+        raise KeyError(f"no published page {key!r}; have {list(self.manifest.keys())}")
+
+    def close(self) -> None:
+        """Close handles and — in the owning process only — unlink segments."""
+        if self._closed:
+            return
+        self._closed = True
+        owner = os.getpid() == self._owner_pid
+        for name, segment in self._segments.items():
+            try:
+                segment.close()
+            except (OSError, BufferError):  # pragma: no cover - platform specific
+                pass
+            if owner:
+                try:
+                    segment.unlink()
+                except (FileNotFoundError, OSError):  # pragma: no cover
+                    pass
+                _OWNED.pop(name, None)
+
+    def __enter__(self) -> "PublishedPages":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AttachedPages:
+    """Worker-side zero-copy views over a manifest's segments.
+
+    Keeps the :class:`~multiprocessing.shared_memory.SharedMemory` handles
+    alive for as long as the views are in use; never unlinks.
+    """
+
+    def __init__(self, manifest: PageManifest):
+        self.manifest = manifest
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self.arrays: dict[str, np.ndarray] = {}
+        try:
+            for page in manifest.pages:
+                segment = self._segments.get(page.segment)
+                if segment is None:
+                    segment = _attach_segment(page.segment)
+                    self._segments[page.segment] = segment
+                view = _view(segment, page)
+                view.flags.writeable = False
+                self.arrays[page.key] = view
+        except Exception:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        self.arrays.clear()
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except (OSError, BufferError):  # pragma: no cover - platform specific
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "AttachedPages":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def publish_arrays(
+    arrays: Mapping[str, np.ndarray],
+    meta: tuple[tuple[str, str], ...] = (),
+) -> PublishedPages:
+    """Copy each array once into a fresh shared segment; return the handle.
+
+    Arrays must have fixed-size dtypes (no object columns) — anything a
+    dataset table or label cache legitimately holds.  Non-contiguous inputs
+    are compacted during the copy.
+    """
+    pages: list[SharedPage] = []
+    segments: dict[str, shared_memory.SharedMemory] = {}
+    try:
+        for key, values in arrays.items():
+            array = np.ascontiguousarray(values)
+            if array.dtype.hasobject:
+                raise ValueError(
+                    f"page {key!r} has object dtype {array.dtype}; only fixed-size "
+                    "dtypes can live in shared memory"
+                )
+            name = _new_segment_name()
+            segment = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1), name=name)
+            segments[name] = segment
+            _OWNED[name] = (os.getpid(), segment)
+            page = SharedPage(key=key, segment=name, dtype=array.dtype.str, shape=array.shape)
+            _view(segment, page)[...] = array
+            pages.append(page)
+    except Exception:
+        for name, segment in segments.items():
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:  # pragma: no cover
+                pass
+            _OWNED.pop(name, None)
+        raise
+    return PublishedPages(PageManifest(pages=tuple(pages), meta=tuple(meta)), segments)
+
+
+def attach_pages(manifest: PageManifest) -> AttachedPages:
+    """Map every page of ``manifest`` as a read-only zero-copy view."""
+    return AttachedPages(manifest)
+
+
+# -- workload pages -----------------------------------------------------------
+
+_COLUMN_SEPARATOR = "\x1f"
+
+
+def publish_workload_pages(workload: "Workload") -> PublishedPages:
+    """Publish a built workload's dataset columns (and label cache) as pages.
+
+    The parent computes the bulk label cache once (when the query caches
+    labels at all) so no worker ever runs the expensive full-table predicate
+    scan; uncached queries simply publish no label page and workers evaluate
+    on demand, which is byte-identical by the backend-parity contract.
+    """
+    table = workload.query.table
+    arrays: dict[str, np.ndarray] = {
+        TABLE_COLUMN_PREFIX + name: table.column(name) for name in table.column_names
+    }
+    labels = workload.query.export_label_cache(compute=workload.query.cache_labels)
+    if labels is not None:
+        arrays[LABELS_KEY] = labels
+    meta = (
+        ("table_name", table.name),
+        ("columns", _COLUMN_SEPARATOR.join(table.column_names)),
+    )
+    return publish_arrays(arrays, meta)
+
+
+def table_from_pages(attached: AttachedPages) -> tuple[Table, np.ndarray | None]:
+    """Rebuild the (zero-copy, read-only) table and label cache from pages."""
+    manifest = attached.manifest
+    column_order = (manifest.meta_value("columns") or "").split(_COLUMN_SEPARATOR)
+    columns = {
+        name: attached.arrays[TABLE_COLUMN_PREFIX + name] for name in column_order if name
+    }
+    if not columns:
+        raise ValueError("manifest holds no table columns")
+    table = Table(columns, name=manifest.meta_value("table_name") or "table")
+    return table, attached.arrays.get(LABELS_KEY)
+
+
+def publish_cached_dataset(kind: str, parameters: Mapping[str, object]) -> PublishedPages | None:
+    """Publish a dataset straight from its npz cache archive, if present.
+
+    Bridges :mod:`repro.datasets.cache` and the warm pool: when the seeded
+    table is already memoised on disk, its pages go straight from the
+    archive into shared memory without the parent ever building a private
+    :class:`~repro.query.table.Table` copy.  Returns ``None`` when the cache
+    is disabled, the entry is missing, or the archive is unreadable.
+    """
+    from repro.datasets.cache import cached_archive_path, load_archive_columns
+
+    path = cached_archive_path(kind, parameters)
+    if path is None or not path.is_file():
+        return None
+    loaded = load_archive_columns(path)
+    if loaded is None:
+        return None
+    order, columns = loaded
+    arrays = {TABLE_COLUMN_PREFIX + name: columns[name] for name in order}
+    meta = (("table_name", kind), ("columns", _COLUMN_SEPARATOR.join(order)))
+    return publish_arrays(arrays, meta)
+
+
+# -- hygiene ------------------------------------------------------------------
+
+
+def active_segments() -> set[str]:
+    """Names of live segments created by this module (best effort).
+
+    On Linux this audits ``/dev/shm`` directly, which also catches segments
+    leaked by a crashed creator; elsewhere it falls back to the in-process
+    ownership registry.
+    """
+    shm_dir = Path("/dev/shm")
+    if shm_dir.is_dir():
+        return {entry.name for entry in shm_dir.iterdir() if entry.name.startswith(SEGMENT_PREFIX)}
+    return {name for name, (pid, _) in _OWNED.items() if pid == os.getpid()}
+
+
+def _cleanup_owned() -> None:  # pragma: no cover - exercised via subprocess test
+    """atexit fallback: unlink anything the context managers did not."""
+    for name, (pid, segment) in list(_OWNED.items()):
+        if pid != os.getpid():
+            continue
+        try:
+            segment.close()
+            segment.unlink()
+        except (OSError, BufferError):
+            pass
+        _OWNED.pop(name, None)
+
+
+atexit.register(_cleanup_owned)

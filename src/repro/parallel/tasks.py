@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.estimate import CountEstimate
+from repro.parallel.fingerprint import estimate_digest
 from repro.parallel.methods import MethodSpec
 from repro.sampling.intervals import ConfidenceInterval
 from repro.sampling.rng import SeedDescriptor
@@ -136,6 +137,19 @@ class TrialResult:
         )
 
 
+@dataclass(frozen=True)
+class TrialFingerprint:
+    """One trial reduced to its 32-byte estimate digest.
+
+    The compact wire form for verification-only runs: when the caller needs
+    equivalence evidence rather than estimates, workers buffer their chunk's
+    digests and only these bytes cross the pipe.
+    """
+
+    trial_index: int
+    digest: bytes
+
+
 def run_single_trial(
     workload: Workload,
     method_spec: MethodSpec,
@@ -152,21 +166,53 @@ def run_single_trial(
         return method_spec.build_trial_function()(workload, task.seed.resolve(), task.budget)
 
 
+def execute_trials(
+    workload: Workload,
+    method_spec: MethodSpec,
+    tasks: tuple[TrialTask, ...],
+    result_mode: str = "estimates",
+) -> list[TrialResult] | list[TrialFingerprint]:
+    """Run a chunk of trials against an already-resolved workload.
+
+    The single execution path shared by the serial shortcut, the cold
+    (per-run executor) engine and the warm pool — which is what keeps their
+    results byte-identical.  Trials within the chunk run in task order; each
+    draws only from its own child stream, so chunking never affects results.
+
+    ``result_mode`` selects what crosses the process boundary:
+    ``"estimates"`` returns full :class:`TrialResult` records;
+    ``"fingerprints"`` buffers each trial down to its 32-byte digest for
+    verification-only callers.
+    """
+    if result_mode == "fingerprints":
+        return [
+            TrialFingerprint(
+                task.trial_index, estimate_digest(run_single_trial(workload, method_spec, task))
+            )
+            for task in tasks
+        ]
+    if result_mode != "estimates":
+        raise ValueError(
+            f"unknown result_mode {result_mode!r}; choose 'estimates' or 'fingerprints'"
+        )
+    return [
+        TrialResult.from_estimate(task.trial_index, run_single_trial(workload, method_spec, task))
+        for task in tasks
+    ]
+
+
 def execute_trial_chunk(
     workload_spec: WorkloadSpec,
     method_spec: MethodSpec,
     tasks: tuple[TrialTask, ...],
     shared_labels: np.ndarray | None = None,
 ) -> list[TrialResult]:
-    """Worker entry point: run a chunk of trials against one workload.
+    """Cold worker entry point: resolve the workload, then run the chunk.
 
     Module-level (hence picklable by reference) and pure apart from the
-    per-process workload cache.  Trials within the chunk run in task order;
-    each draws only from its own child stream, so chunking never affects
-    results.
+    per-process workload cache.  Retained for the legacy per-run executor
+    path; the warm pool resolves its workload once at worker start instead
+    (:mod:`repro.parallel.pool`) and goes straight to :func:`execute_trials`.
     """
     workload = _workload_for(workload_spec, shared_labels)
-    return [
-        TrialResult.from_estimate(task.trial_index, run_single_trial(workload, method_spec, task))
-        for task in tasks
-    ]
+    return execute_trials(workload, method_spec, tasks)

@@ -67,16 +67,28 @@ class WorkloadSpec:
         # key on the spec.
         object.__setattr__(self, "backend", canonical_backend_spec(self.backend))
 
-    def build(self) -> "Workload":
-        """Construct the described workload (deterministic)."""
-        return build_workload(
+    def build(self, table=None, label_cache=None) -> "Workload":
+        """Construct the described workload (deterministic).
+
+        ``table`` optionally supplies the already-materialised object set —
+        the warm worker pool hands workers zero-copy shared-memory views of
+        the parent's table so they skip dataset regeneration; the rows must
+        be byte-identical to what the spec would generate, which the shared
+        pages guarantee by construction.  ``label_cache`` likewise adopts a
+        bulk predicate label cache computed once in the parent.
+        """
+        workload = build_workload(
             self.dataset,
             level=self.level,
             num_rows=self.num_rows,
             seed=self.seed,
             cache_labels=self.cache_labels,
             backend=self.backend,
+            table=table,
         )
+        if label_cache is not None:
+            workload.query.attach_label_cache(label_cache)
+        return workload
 
 
 @dataclass
@@ -114,16 +126,28 @@ class Workload:
         return max(int(round(fraction * self.num_objects)), 1)
 
 
+def _check_provided_table(table, num_rows: int) -> None:
+    if table.num_rows != num_rows:
+        raise ValueError(
+            f"provided table has {table.num_rows} rows but the spec describes {num_rows}; "
+            "shared pages must come from a workload built from the same spec"
+        )
+
+
 def build_sports_workload(
     level: str | float = "S",
     num_rows: int = DEFAULT_SPORTS_ROWS,
     seed: int = 7,
     cache_labels: bool = True,
     backend: str = "numpy",
+    table=None,
 ) -> Workload:
     """Type 1 (Sports): k-skyband membership over pitching statistics."""
     backend = canonical_backend_spec(backend)
-    table = generate_sports_table(num_rows=num_rows, seed=seed)
+    if table is None:
+        table = generate_sports_table(num_rows=num_rows, seed=seed)
+    else:
+        _check_provided_table(table, num_rows)
     calibration = calibrate_skyband_depth(table, SKYBAND_X_COLUMN, SKYBAND_Y_COLUMN, level)
     predicate = SkybandPredicate(SKYBAND_X_COLUMN, SKYBAND_Y_COLUMN, k=calibration.parameter)
     query = CountingQuery(
@@ -151,10 +175,14 @@ def build_neighbors_workload(
     distance: float = DEFAULT_NEIGHBOR_DISTANCE,
     cache_labels: bool = True,
     backend: str = "numpy",
+    table=None,
 ) -> Workload:
     """Type 2 (Neighbors): records with few neighbours within distance ``d``."""
     backend = canonical_backend_spec(backend)
-    table = generate_neighbors_table(num_rows=num_rows, seed=seed)
+    if table is None:
+        table = generate_neighbors_table(num_rows=num_rows, seed=seed)
+    else:
+        _check_provided_table(table, num_rows)
     calibration = calibrate_neighbor_threshold(
         table, NEIGHBOR_X_COLUMN, NEIGHBOR_Y_COLUMN, distance, level
     )
@@ -196,6 +224,7 @@ def build_workload(
     seed: int | None = None,
     cache_labels: bool = True,
     backend: str = "numpy",
+    table=None,
 ) -> Workload:
     """Build either workload by name with sensible defaults."""
     if dataset == "sports":
@@ -205,6 +234,7 @@ def build_workload(
             seed=7 if seed is None else seed,
             cache_labels=cache_labels,
             backend=backend,
+            table=table,
         )
     if dataset == "neighbors":
         return build_neighbors_workload(
@@ -213,5 +243,6 @@ def build_workload(
             seed=11 if seed is None else seed,
             cache_labels=cache_labels,
             backend=backend,
+            table=table,
         )
     raise ValueError(f"unknown dataset {dataset!r}; choose 'sports' or 'neighbors'")

@@ -74,10 +74,14 @@ class TrialRunner:
         """Run a spec-described method, fanning out when ``workers > 1``.
 
         ``method_spec`` is a :class:`~repro.parallel.methods.MethodSpec`.
-        Workloads without a rebuild spec (hand-assembled tables, custom
-        predicates) cannot be shipped to worker processes and fall back to
-        serial execution with a warning — the results are identical either
-        way, only slower.
+        Fan-out goes through the warm worker pool: a persistent,
+        process-wide pool per (workload spec, worker count) whose workers
+        attach to shared-memory dataset pages once and then stream compact
+        trial tasks — so sweeping several methods over one workload pays
+        pool start-up a single time.  Workloads without a rebuild spec
+        (hand-assembled tables, custom predicates) cannot be shipped to
+        worker processes and fall back to serial execution with a warning —
+        the results are identical either way, only slower.
         """
         from repro.parallel.engine import resolve_worker_count
         from repro.parallel.runner import ParallelTrialRunner

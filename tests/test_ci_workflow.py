@@ -106,6 +106,25 @@ class TestWorkflowStructure:
         ]
         assert any("BENCH_micro.json" in str(s.get("with", {}).get("path", "")) for s in uploads)
 
+    def test_full_job_gates_parallel_benchmark(self, workflow):
+        # The nightly tier re-measures the warm-pool sweep, checks it against
+        # the committed BENCH_parallel.json baseline (speedup regressions
+        # fail; <4-core runners skip with a notice) and archives the fresh
+        # document as an artifact.
+        steps = workflow["jobs"]["full"]["steps"]
+        parallel_step = next(
+            s for s in steps if "benchmarks/run_parallel.py" in str(s.get("run", ""))
+        )
+        assert "--check-against BENCH_parallel.json" in " ".join(parallel_step["run"].split())
+        uploads = [
+            s
+            for s in steps
+            if str(s.get("uses", "")).startswith("actions/upload-artifact")
+        ]
+        assert any(
+            "BENCH_parallel" in str(s.get("with", {}).get("path", "")) for s in uploads
+        )
+
     def test_jobs_pin_timeouts(self, workflow):
         for name, job in workflow["jobs"].items():
             assert "timeout-minutes" in job, f"job {name} has no timeout"

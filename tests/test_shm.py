@@ -1,0 +1,168 @@
+"""Shared-memory dataset pages: publish/attach round-trips and hygiene.
+
+The warm pool's correctness rests on two properties of :mod:`repro.parallel.
+shm`: attached views are byte-identical to the published arrays (zero-copy,
+read-only), and every segment a process creates is unlinked by the time its
+owner is done — ``/dev/shm`` must look the same before and after any run.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.datasets.cache import CACHE_ENV_VAR, cached_table
+from repro.parallel.shm import (
+    LABELS_KEY,
+    SEGMENT_PREFIX,
+    TABLE_COLUMN_PREFIX,
+    active_segments,
+    attach_pages,
+    publish_arrays,
+    publish_cached_dataset,
+    publish_workload_pages,
+    table_from_pages,
+)
+from repro.query.table import Table
+from repro.workloads.queries import build_workload
+
+
+@pytest.fixture()
+def baseline_segments():
+    """Segment names alive before the test; used to detect leaks."""
+    return active_segments()
+
+
+class TestPublishAttach:
+    def test_roundtrip_is_byte_identical(self, baseline_segments):
+        arrays = {
+            "floats": np.linspace(0.0, 1.0, 257),
+            "ints": np.arange(64, dtype=np.int64).reshape(8, 8),
+            "flags": np.array([True, False, True]),
+        }
+        with publish_arrays(arrays) as pages:
+            assert set(pages.manifest.keys()) == set(arrays)
+            with attach_pages(pages.manifest) as attached:
+                for key, expected in arrays.items():
+                    view = attached.arrays[key]
+                    assert view.dtype == expected.dtype
+                    assert view.shape == expected.shape
+                    np.testing.assert_array_equal(view, expected)
+        assert active_segments() <= baseline_segments
+
+    def test_views_are_read_only(self):
+        with publish_arrays({"x": np.arange(5.0)}) as pages:
+            owner_view = pages.array("x")
+            with pytest.raises(ValueError):
+                owner_view[0] = 99.0
+            with attach_pages(pages.manifest) as attached:
+                with pytest.raises(ValueError):
+                    attached.arrays["x"][0] = 99.0
+
+    def test_manifest_is_tiny_and_picklable(self):
+        big = np.zeros((1000, 50))
+        with publish_arrays({"big": big}) as pages:
+            payload = pickle.dumps(pages.manifest)
+            # The whole point: names + dtypes + shapes cross the pipe,
+            # never the 400 KB of data.
+            assert len(payload) < 2048
+            clone = pickle.loads(payload)
+            assert clone == pages.manifest
+            assert clone.total_bytes == big.nbytes
+
+    def test_object_dtype_rejected_without_leaking(self, baseline_segments):
+        with pytest.raises(ValueError, match="object dtype"):
+            publish_arrays({"ok": np.arange(3.0), "bad": np.array([object()])})
+        assert active_segments() <= baseline_segments
+
+    def test_segment_names_carry_audit_prefix(self):
+        with publish_arrays({"x": np.arange(3)}) as pages:
+            for page in pages.manifest.pages:
+                assert page.segment.startswith(SEGMENT_PREFIX)
+
+    def test_close_is_idempotent(self, baseline_segments):
+        pages = publish_arrays({"x": np.arange(3)})
+        pages.close()
+        pages.close()
+        assert active_segments() <= baseline_segments
+
+    def test_missing_key_raises(self):
+        with publish_arrays({"x": np.arange(3)}) as pages:
+            with pytest.raises(KeyError, match="no published page"):
+                pages.array("y")
+
+
+class TestWorkloadPages:
+    def test_workload_roundtrip(self, baseline_segments):
+        workload = build_workload("sports", level="S", num_rows=400)
+        with publish_workload_pages(workload) as pages:
+            keys = pages.manifest.keys()
+            assert LABELS_KEY in keys  # cache_labels=True by default
+            with attach_pages(pages.manifest) as attached:
+                table, labels = table_from_pages(attached)
+                source = workload.query.table
+                assert table.name == source.name
+                assert table.column_names == source.column_names
+                for name in source.column_names:
+                    np.testing.assert_array_equal(table.column(name), source.column(name))
+                np.testing.assert_array_equal(
+                    labels, workload.query.export_label_cache(compute=True)
+                )
+        assert active_segments() <= baseline_segments
+
+    def test_uncached_query_publishes_no_label_page(self):
+        workload = build_workload("sports", level="S", num_rows=400, cache_labels=False)
+        with publish_workload_pages(workload) as pages:
+            assert LABELS_KEY not in pages.manifest.keys()
+            with attach_pages(pages.manifest) as attached:
+                _, labels = table_from_pages(attached)
+                assert labels is None
+
+    def test_table_from_pages_requires_columns(self):
+        with publish_arrays({"unrelated": np.arange(3)}) as pages:
+            with attach_pages(pages.manifest) as attached:
+                with pytest.raises(ValueError, match="no table columns"):
+                    table_from_pages(attached)
+
+
+class TestCachedDatasetBridge:
+    PARAMETERS = {"num_rows": 50, "seed": 7}
+
+    @staticmethod
+    def _toy_table() -> Table:
+        rng = np.random.default_rng(7)
+        return Table(
+            {"a": rng.normal(size=50), "b": rng.integers(0, 9, size=50)}, name="toy"
+        )
+
+    def test_pages_come_straight_from_archive(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        source = cached_table("toy", self.PARAMETERS, self._toy_table, name="toy")
+        pages = publish_cached_dataset("toy", self.PARAMETERS)
+        assert pages is not None
+        with pages, attach_pages(pages.manifest) as attached:
+            table, labels = table_from_pages(attached)
+            assert labels is None
+            assert table.column_names == source.column_names
+            for name in source.column_names:
+                np.testing.assert_array_equal(table.column(name), source.column(name))
+            assert attached.manifest.keys() == tuple(
+                TABLE_COLUMN_PREFIX + name for name in source.column_names
+            )
+
+    def test_cache_miss_returns_none(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        assert publish_cached_dataset("toy", {"num_rows": 1, "seed": 0}) is None
+
+    def test_disabled_cache_returns_none(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert publish_cached_dataset("toy", self.PARAMETERS) is None
+
+    def test_corrupt_archive_returns_none(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        cached_table("toy", self.PARAMETERS, self._toy_table, name="toy")
+        (archive,) = tmp_path.glob("toy-*.npz")
+        archive.write_bytes(b"not an npz archive")
+        assert publish_cached_dataset("toy", self.PARAMETERS) is None
