@@ -1,0 +1,87 @@
+"""Threshold sweep against a running estimate server.
+
+Starts (or connects to) the resident estimate server and runs a selectivity
+sweep over the Neighbors workload: one learning phase on the anchor level,
+then every threshold re-stratifies from the cached classifier scores — the
+server's ``/stats`` shows exactly one learning run however many thresholds
+the sweep covers.  Every served estimate carries its byte-exact digest, so
+the client can archive results that any serial run can later verify.
+
+Run with:  python examples/service_client.py
+Or point it at an already-running server:
+
+    python -m repro.service.server --port 8646 --num-rows 4000 &
+    python examples/service_client.py --url http://127.0.0.1:8646
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.service.server import ServerThread, request_json  # noqa: E402
+
+
+def run_sweep(url: str) -> None:
+    health = request_json(url, "/healthz")
+    print(f"Server {url} is {health['status']}")
+
+    # Eleven selectivity levels from ~5 % to ~55 %, anchored at level "S".
+    levels = [round(0.05 + 0.05 * index, 2) for index in range(11)]
+    sweep = request_json(
+        url,
+        "/sweep",
+        {
+            "levels": levels,
+            "method": "lss",
+            "budget_fraction": 0.05,
+            "num_trials": 3,
+            "seed": 42,
+            "learn_budget": 120,
+            "learn_seed": 7,
+        },
+    )
+
+    print()
+    print(f"Swept {len(sweep['points'])} thresholds with "
+          f"{sweep['learning_runs']} learning run(s)")
+    print(f"{'level':>7}  {'true':>6}  {'estimate':>9}  {'rel.err':>8}  digest")
+    for point in sweep["points"]:
+        counts = [trial["count"] for trial in point["estimates"]]
+        mean = sum(counts) / len(counts)
+        true_count = point["true_count"]
+        error = abs(mean - true_count) / max(true_count, 1)
+        print(
+            f"{point['level']:>7}  {true_count:>6}  {mean:>9.1f}  {error:>7.1%}  "
+            f"{point['fingerprint'][:16]}…"
+        )
+
+    stats = request_json(url, "/stats")
+    print()
+    print(
+        f"Server stats: {stats['learning_runs']} learning run(s), "
+        f"{stats['estimates_served']} estimates served, "
+        f"{stats['oracle_calls_saved']} oracle calls saved by the score cache"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default=None, help="connect to a running server instead")
+    parser.add_argument("--num-rows", type=int, default=4000, help="table size (embedded server)")
+    options = parser.parse_args()
+
+    if options.url:
+        run_sweep(options.url)
+        return 0
+    print("Starting an embedded estimate server (pass --url to use a running one)")
+    with ServerThread(source="neighbors", num_rows=options.num_rows, seed=1) as server:
+        run_sweep(server.url)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

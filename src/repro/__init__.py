@@ -15,35 +15,59 @@ It provides:
 * ``repro.quantification`` -- quantification-learning estimators
   (Classify-and-Count and Adjusted Count).
 * ``repro.query`` -- the workload substrate: tables, counting queries with
-  expensive predicates, a grid spatial index and an optional sqlite3 backend.
+  expensive predicates, a grid spatial index and the pluggable execution
+  backends of ``repro.query.backends`` (numpy, chunked, sqlite3).
 * ``repro.datasets`` -- synthetic stand-ins for the paper's Sports (MLB
   pitching) and Neighbors (KDD Cup 1999) datasets with selectivity
   calibration.
 * ``repro.core`` -- the paper's contribution: Learned Weighted Sampling (LWS)
   and Learned Stratified Sampling (LSS) together with the stratification
-  design optimizers DirSol, LogBdr, DynPgm and DynPgmP.
+  design optimizers DirSol, LogBdr, DynPgm and DynPgmP, plus the reusable
+  learned-scores artifact (``repro.core.scores``).
+* ``repro.parallel`` -- the deterministic parallel trial engine: seed
+  descriptors, a warm shared-memory worker pool, and byte-exact estimate
+  fingerprints for serial/parallel equivalence auditing.
+* ``repro.service`` -- estimation as a service: the resident
+  :class:`~repro.service.session.Session` facade (the canonical programmatic
+  entry point, via :func:`repro.session`) and a dependency-light asyncio
+  estimate server with cross-query score reuse.
 * ``repro.experiments`` -- drivers that regenerate every table and figure in
   the paper's evaluation section.
+
+Quick start::
+
+    import repro
+
+    with repro.session("neighbors", num_rows=2000) as s:
+        result = s.estimate("lss", budget=200, num_trials=5, seed=0)
+        sweep = s.sweep([0.1, 0.2, 0.3], budget=200, seed=0)  # one learning phase
 """
 
 from repro.core.estimate import CountEstimate
 from repro.core.lss import LearnedStratifiedSampling
 from repro.core.lws import LearnedWeightedSampling
 from repro.core.pipeline import LearnToSampleResult, learn_to_sample
+from repro.core.scores import LearnedScores, LearnedScoresSpec, learn_scores
 from repro.query.counting import CountingQuery
 from repro.sampling.srs import SimpleRandomSampling
 from repro.sampling.stratified import StratifiedSampling
+from repro.service.session import Session, session
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "CountEstimate",
     "CountingQuery",
+    "LearnedScores",
+    "LearnedScoresSpec",
     "LearnedStratifiedSampling",
     "LearnedWeightedSampling",
     "LearnToSampleResult",
+    "Session",
     "SimpleRandomSampling",
     "StratifiedSampling",
+    "learn_scores",
     "learn_to_sample",
+    "session",
     "__version__",
 ]

@@ -11,18 +11,26 @@ the sampling and learning substrates:
   jointly optimise stratification and allocation for a second-stage
   stratified sample (Section 4.2), using the optimizers in
   :mod:`repro.core.stratification`.
+* :mod:`repro.core.scores` — the reusable learning-phase artifact:
+  :func:`~repro.core.scores.learn_scores` runs the oracle-charged learning
+  phase once, and both estimators' ``estimate_from_scores`` spend their whole
+  budget on the sampling phase over the cached ordering.
 """
 
 from repro.core.estimate import CountEstimate
 from repro.core.lss import LearnedStratifiedSampling, LSSPhaseTimings
 from repro.core.lws import LearnedWeightedSampling
 from repro.core.pipeline import LearnToSampleResult, learn_to_sample
+from repro.core.scores import LearnedScores, LearnedScoresSpec, learn_scores
 
 __all__ = [
     "CountEstimate",
     "LSSPhaseTimings",
     "LearnToSampleResult",
+    "LearnedScores",
+    "LearnedScoresSpec",
     "LearnedStratifiedSampling",
     "LearnedWeightedSampling",
+    "learn_scores",
     "learn_to_sample",
 ]

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -35,6 +36,9 @@ from repro.query.counting import CountingQuery
 from repro.sampling.rng import SeedLike, resolve_rng, sample_without_replacement
 from repro.sampling.srs import SimpleRandomSampling
 from repro.sampling.stratified import StrataPartition, StratifiedSampling
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.scores import LearnedScores
 
 #: Optimizers selectable through the ``optimizer`` constructor argument.
 OPTIMIZERS = ("dynpgm", "dynpgm_prop", "logbdr", "dirsol", "fixed_width", "fixed_height")
@@ -205,13 +209,15 @@ class LearnedStratifiedSampling:
     def _pilot_only_estimate(
         self,
         query: CountingQuery,
-        learning,
         ordered_objects: np.ndarray,
         sampling_budget: int,
         rng: np.random.Generator,
         evaluations_before: int,
         total_started: float,
         predicate_seconds_before: float,
+        learning_positives: float,
+        learning_count: int,
+        training_seconds: float,
     ) -> CountEstimate:
         """Deterministic fallback when the two-stage design is infeasible.
 
@@ -235,26 +241,26 @@ class LearnedStratifiedSampling:
         )
         sampling_overhead_seconds += time.perf_counter() - overhead_started
         timings = LSSPhaseTimings(
-            learning_seconds=learning.training_seconds,
+            learning_seconds=training_seconds,
             design_seconds=0.0,
             sampling_overhead_seconds=sampling_overhead_seconds,
             predicate_seconds=query.evaluation_seconds - predicate_seconds_before,
             total_seconds=time.perf_counter() - total_started,
         )
         return CountEstimate(
-            count=srs.count + learning.positive_count,
+            count=srs.count + learning_positives,
             proportion=srs.proportion,
             population_size=population,
             predicate_evaluations=query.evaluations - evaluations_before,
             method=self.method_name,
             interval=srs.interval,
             variance=srs.variance,
-            count_offset=learning.positive_count,
+            count_offset=learning_positives,
             details={
                 "degenerate": "pilot-only",
                 "timings": timings,
-                "learning_count": learning.labelled_count,
-                "learning_positives": learning.positive_count,
+                "learning_count": learning_count,
+                "learning_positives": learning_positives,
                 "pilot_size": take,
                 "num_strata": 1,
             },
@@ -316,6 +322,100 @@ class LearnedStratifiedSampling:
         sorted_scores = scores[order]
         sampling_overhead_seconds = time.perf_counter() - overhead_started
 
+        return self._sampling_phase(
+            query,
+            ordered_objects,
+            sorted_scores,
+            sampling_budget,
+            rng,
+            evaluations_before=evaluations_before,
+            total_started=total_started,
+            predicate_seconds_before=predicate_seconds_before,
+            learning_positives=learning.positive_count,
+            learning_count=learning.labelled_count,
+            training_seconds=learning.training_seconds,
+            sampling_overhead_seconds=sampling_overhead_seconds,
+        )
+
+    def estimate_from_scores(
+        self,
+        query: CountingQuery,
+        learned: "LearnedScores",
+        budget: int,
+        seed: SeedLike = None,
+    ) -> CountEstimate:
+        """Estimate ``C(O, q)`` re-stratifying from an already-learned ordering.
+
+        The learning phase — labelling, classifier training, scoring and the
+        stable argsort — was paid once by
+        :func:`~repro.core.scores.learn_scores`; this method spends the whole
+        ``budget`` on the pilot + stage-II sampling phase over the cached
+        ordering.  Because LSS consumes the scores only as an *ordering*, the
+        estimate stays unbiased for any query over the same table — including
+        sibling thresholds the classifier was never trained on; a mismatched
+        ordering costs variance, never bias.  The learning set's exact labels
+        under this query's threshold (transferred through the predicate's
+        value decomposition, at zero oracle cost) enter as the usual additive
+        ``count_offset``.
+        """
+        if budget < 2:
+            raise ValueError("budget must be at least 2 predicate evaluations")
+        rng = resolve_rng(seed)
+        total_started = time.perf_counter()
+        evaluations_before = query.evaluations
+        predicate_seconds_before = query.evaluation_seconds
+
+        labels = learned.labels_for(query)
+        learning_positives = float(labels.sum())
+        ordered_objects = learned.ordered_objects
+        if ordered_objects.size == 0:
+            return CountEstimate(
+                count=learning_positives,
+                proportion=float(labels.mean()) if labels.size else 0.0,
+                population_size=int(labels.size),
+                predicate_evaluations=query.evaluations - evaluations_before,
+                method=self.method_name,
+                details={"degenerate": True},
+            )
+        sampling_budget = min(int(budget), ordered_objects.size)
+        return self._sampling_phase(
+            query,
+            ordered_objects,
+            learned.sorted_scores,
+            sampling_budget,
+            rng,
+            evaluations_before=evaluations_before,
+            total_started=total_started,
+            predicate_seconds_before=predicate_seconds_before,
+            learning_positives=learning_positives,
+            learning_count=int(labels.size),
+            training_seconds=0.0,
+            sampling_overhead_seconds=0.0,
+        )
+
+    def _sampling_phase(
+        self,
+        query: CountingQuery,
+        ordered_objects: np.ndarray,
+        sorted_scores: np.ndarray,
+        sampling_budget: int,
+        rng: np.random.Generator,
+        evaluations_before: int,
+        total_started: float,
+        predicate_seconds_before: float,
+        learning_positives: float,
+        learning_count: int,
+        training_seconds: float,
+        sampling_overhead_seconds: float,
+    ) -> CountEstimate:
+        """Pilot + stage-II stratified estimation over a score-ordered population.
+
+        Shared verbatim between :meth:`estimate` (which just learned the
+        ordering) and :meth:`estimate_from_scores` (which replays a cached
+        one) — the draw sequence on ``rng`` is identical in both, which is
+        what makes served sweep estimates reproducible by any serial run
+        holding the same cached ordering.
+        """
         # Stage I: pilot sample over the ordered population.  The pilot must
         # keep enough budget in stage II to give every stratum at least one
         # fresh sample; when the sampling budget cannot support both a
@@ -323,17 +423,19 @@ class LearnedStratifiedSampling:
         # infeasible and the estimator degrades to pilot-only estimation
         # (a plain SRS over the ordered remainder) instead of silently
         # producing a non-positive second-stage budget.
-        largest_pilot = min(sampling_budget - self.num_strata, remaining.size)
+        largest_pilot = min(sampling_budget - self.num_strata, ordered_objects.size)
         if largest_pilot < 2:
             return self._pilot_only_estimate(
                 query,
-                learning,
                 ordered_objects,
                 sampling_budget,
                 rng,
                 evaluations_before,
                 total_started,
                 predicate_seconds_before,
+                learning_positives,
+                learning_count,
+                training_seconds,
             )
         pilot_size = int(round(self.pilot_fraction * sampling_budget))
         pilot_size = max(
@@ -344,10 +446,10 @@ class LearnedStratifiedSampling:
         second_stage_samples = sampling_budget - pilot_size
 
         pilot_positions = np.sort(
-            sample_without_replacement(remaining.size, pilot_size, seed=rng)
+            sample_without_replacement(ordered_objects.size, pilot_size, seed=rng)
         )
         pilot_labels = query.evaluate(ordered_objects[pilot_positions])
-        pilot = PilotSample(pilot_positions, pilot_labels, remaining.size)
+        pilot = PilotSample(pilot_positions, pilot_labels, ordered_objects.size)
 
         # Sample design: stratification + allocation.
         design_started = time.perf_counter()
@@ -417,7 +519,7 @@ class LearnedStratifiedSampling:
 
         predicate_seconds = query.evaluation_seconds - predicate_seconds_before
         timings = LSSPhaseTimings(
-            learning_seconds=learning.training_seconds,
+            learning_seconds=training_seconds,
             design_seconds=design_seconds,
             sampling_overhead_seconds=sampling_overhead_seconds + stage2_overhead,
             predicate_seconds=predicate_seconds,
@@ -427,19 +529,19 @@ class LearnedStratifiedSampling:
             "design": design,
             "allocation": allocation.counts,
             "timings": timings,
-            "learning_count": learning.labelled_count,
-            "learning_positives": learning.positive_count,
+            "learning_count": learning_count,
+            "learning_positives": learning_positives,
             "pilot_size": pilot_size,
             "num_strata": design.num_strata,
         }
         return CountEstimate(
-            count=estimate.count + learning.positive_count,
+            count=estimate.count + learning_positives,
             proportion=estimate.proportion,
             population_size=estimate.population_size,
             predicate_evaluations=query.evaluations - evaluations_before,
             method=self.method_name,
             interval=estimate.interval,
             variance=estimate.variance,
-            count_offset=learning.positive_count,
+            count_offset=learning_positives,
             details=details,
         )

@@ -12,6 +12,7 @@ poor classifier only costs extra variance, never bias.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 
 from repro.core.estimate import CountEstimate
@@ -20,6 +21,9 @@ from repro.learning.base import Classifier
 from repro.query.counting import CountingQuery
 from repro.sampling.rng import SeedLike, resolve_rng
 from repro.sampling.weighted import WeightedSampling
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.scores import LearnedScores
 
 
 class LearnedWeightedSampling:
@@ -137,5 +141,73 @@ class LearnedWeightedSampling:
             interval=estimate.interval,
             variance=estimate.variance,
             count_offset=learning.positive_count,
+            details=details,
+        )
+
+    def estimate_from_scores(
+        self,
+        query: CountingQuery,
+        learned: "LearnedScores",
+        budget: int,
+        seed: SeedLike = None,
+    ) -> CountEstimate:
+        """Estimate ``C(O, q)`` reusing an already-learned score assignment.
+
+        The learning phase was paid once by
+        :func:`~repro.core.scores.learn_scores`; the whole ``budget`` goes to
+        PPS sampling over the cached scores.  The ε floor keeps every object
+        sampleable, so the Des Raj estimator stays unbiased even for sibling
+        thresholds the classifier never saw — mismatched scores cost
+        variance, never bias.  The learning set's exact labels under this
+        query's threshold (via the predicate's value decomposition, zero
+        oracle cost) enter as the additive ``count_offset``.
+        """
+        if budget < 2:
+            raise ValueError("budget must be at least 2 predicate evaluations")
+        rng = resolve_rng(seed)
+        evaluations_before = query.evaluations
+
+        labels = learned.labels_for(query)
+        learning_positives = float(labels.sum())
+        remaining = learned.remaining_indices
+        if remaining.size == 0:
+            return CountEstimate(
+                count=learning_positives,
+                proportion=float(labels.mean()) if labels.size else 0.0,
+                population_size=int(labels.size),
+                predicate_evaluations=query.evaluations - evaluations_before,
+                method=self.method_name,
+                count_offset=0.0,
+                details={"degenerate": True},
+            )
+
+        sampler = WeightedSampling(floor=self.score_floor, confidence=self.confidence)
+        estimate = sampler.estimate(
+            remaining,
+            learned.scores,
+            query.evaluate,
+            sample_size=min(int(budget), remaining.size),
+            seed=rng,
+            method=self.method_name,
+        )
+
+        details = dict(estimate.details)
+        details.update(
+            {
+                "learning_count": int(labels.size),
+                "learning_positives": learning_positives,
+                "scoring_seconds": 0.0,
+                "training_seconds": 0.0,
+            }
+        )
+        return CountEstimate(
+            count=estimate.count + learning_positives,
+            proportion=estimate.proportion,
+            population_size=estimate.population_size,
+            predicate_evaluations=query.evaluations - evaluations_before,
+            method=self.method_name,
+            interval=estimate.interval,
+            variance=estimate.variance,
+            count_offset=learning_positives,
             details=details,
         )

@@ -1,31 +1,31 @@
-"""A single-call facade over every estimator in the library.
+"""A single-call facade over every estimator in the library (deprecated).
 
 ``learn_to_sample`` runs any of the estimators — the learn-to-sample methods,
 the quantification-learning estimators and the sampling baselines — against a
 :class:`~repro.query.counting.CountingQuery`, with the same budget semantics,
 and returns the estimate together with context that the experiment harness
 and the examples find useful (ground truth, realised error, classifier name).
+
+The canonical entry point is now the resident session facade,
+``repro.session(...)`` — which keeps tables, label caches and learned scores
+alive across calls instead of rebuilding per query.  ``learn_to_sample``
+remains as a thin shim over a throwaway
+:meth:`~repro.service.session.Session.estimate_query` (the exact dispatch
+this module used to own), so its estimates stay byte-identical release over
+release; it emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any
 
 
 from repro.core.estimate import CountEstimate
-from repro.core.lss import LearnedStratifiedSampling
-from repro.core.lws import LearnedWeightedSampling
-from repro.quantification.adjusted_count import AdjustedCount
-from repro.quantification.classify_count import ClassifyAndCount
 from repro.query.counting import CountingQuery
 from repro.sampling.rng import SeedLike
-from repro.sampling.srs import SimpleRandomSampling
-from repro.sampling.stratified import (
-    StratifiedSampling,
-    TwoStageNeymanSampling,
-    attribute_grid_strata,
-)
+from repro.sampling.stratified import attribute_grid_strata
 
 #: Methods accepted by :func:`learn_to_sample`.
 METHODS = ("lss", "lws", "qlcc", "qlac", "srs", "ssp", "ssn")
@@ -93,43 +93,29 @@ def learn_to_sample(
 
     Returns:
         A :class:`LearnToSampleResult` with the estimate and ground truth.
+
+    .. deprecated::
+        Use ``repro.session(...)`` — estimates through a resident session pay
+        the table/learning cost once across calls.  This shim delegates to a
+        throwaway session's ``estimate_query``, which performs the exact
+        dispatch (same estimator construction, same seed consumption) this
+        function always did, so results are byte-identical.
     """
-    if method not in METHODS:
-        raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
-    if budget <= 0:
-        raise ValueError("budget must be positive")
-    if backend is not None:
-        query = query.with_backend(backend)
+    warnings.warn(
+        "learn_to_sample() is deprecated; use repro.session(...).estimate() for "
+        "resident workloads, or Session.estimate_query() for one-shot queries",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # Lazy import: the service layer imports this module for the result type.
+    from repro.service.session import Session
 
-    if method == "lss":
-        estimator = LearnedStratifiedSampling(num_strata=num_strata, **estimator_options)
-        estimate = estimator.estimate(query, budget, seed=seed)
-    elif method == "lws":
-        estimator = LearnedWeightedSampling(**estimator_options)
-        estimate = estimator.estimate(query, budget, seed=seed)
-    elif method == "qlcc":
-        estimator = ClassifyAndCount(**estimator_options)
-        estimate = estimator.estimate(query, budget, seed=seed)
-    elif method == "qlac":
-        estimator = AdjustedCount(**estimator_options)
-        estimate = estimator.estimate(query, budget, seed=seed)
-    elif method == "srs":
-        estimator = SimpleRandomSampling(**estimator_options)
-        estimate = estimator.estimate(
-            query.object_indices(), query.evaluate, budget, seed=seed
-        )
-    elif method == "ssp":
-        estimator = StratifiedSampling(allocation="proportional", **estimator_options)
-        partition = _grid_partition(query, num_strata)
-        estimate = estimator.estimate(partition, query.evaluate, budget, seed=seed)
-    else:  # ssn
-        estimator = TwoStageNeymanSampling(**estimator_options)
-        partition = _grid_partition(query, num_strata)
-        estimate = estimator.estimate(partition, query.evaluate, budget, seed=seed)
-
-    return LearnToSampleResult(
-        estimate=estimate,
+    return Session().estimate_query(
+        query,
+        budget,
         method=method,
-        true_count=query.true_count(),
-        budget=budget,
+        seed=seed,
+        num_strata=num_strata,
+        backend=backend,
+        **estimator_options,
     )

@@ -91,6 +91,15 @@ def main(argv: list[str] | None = None) -> int:
             "CPUs; results are byte-identical for any value"
         ),
     )
+    parser.add_argument(
+        "--session",
+        action="store_true",
+        help=(
+            "keep workloads resident across drivers (one generated table, grid "
+            "index and label cache per table recipe); results are byte-identical "
+            "with or without residency"
+        ),
+    )
     arguments = parser.parse_args(argv)
     if arguments.workers < 0:
         parser.error(f"--workers must be non-negative, got {arguments.workers}")
@@ -98,14 +107,22 @@ def main(argv: list[str] | None = None) -> int:
     if arguments.workers != 1:
         scale = dataclasses.replace(scale, workers=arguments.workers)
 
-    chosen = sorted(EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
-    for name in chosen:
-        title, runner = EXPERIMENTS[name]
-        started = time.perf_counter()
-        rows = runner(scale)
-        elapsed = time.perf_counter() - started
-        print(format_table(rows, title=f"{title}  [{arguments.scale} scale, {elapsed:.1f}s]"))
-        print()
+    if arguments.session:
+        from repro.experiments.common import shared_session
+
+        shared_session(True)
+    try:
+        chosen = sorted(EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
+        for name in chosen:
+            title, runner = EXPERIMENTS[name]
+            started = time.perf_counter()
+            rows = runner(scale)
+            elapsed = time.perf_counter() - started
+            print(format_table(rows, title=f"{title}  [{arguments.scale} scale, {elapsed:.1f}s]"))
+            print()
+    finally:
+        if arguments.session:
+            shared_session(False)
     return 0
 
 

@@ -26,7 +26,36 @@ __all__ = [
     "distribution_row",
     "make_trial_function",
     "run_distribution",
+    "shared_session",
 ]
+
+#: When set (the drivers' ``--session`` flag), workload construction routes
+#: through this resident session, so consecutive drivers over the same table
+#: recipe reuse one generated table, grid index and label cache.
+_shared_session = None
+
+
+def shared_session(enable: bool = True):
+    """Enable (or tear down) cross-driver workload residency.
+
+    Returns the active :class:`~repro.service.session.Session`, or ``None``
+    after disabling.  Workloads resolved through the session are identical
+    objects across drivers — and identical *bytes* to a fresh
+    :func:`~repro.workloads.queries.build_workload`, by workload determinism —
+    so enabling residency changes wall-clock, never results.
+    """
+    global _shared_session
+    if not enable:
+        if _shared_session is not None:
+            _shared_session.close()
+        _shared_session = None
+        return None
+    if _shared_session is None:
+        # Lazy import: the service layer sits above the experiment helpers.
+        from repro.service.session import Session
+
+        _shared_session = Session()
+    return _shared_session
 
 
 def build_scaled_workload(
@@ -40,8 +69,21 @@ def build_scaled_workload(
 
     ``backend`` selects the query-execution backend (see
     :mod:`repro.query.backends`); results are byte-identical across backends.
+    With an active :func:`shared_session`, the workload is served from (and
+    kept in) the session's resident LRU instead of being rebuilt per driver.
     """
     num_rows = scale.sports_rows if dataset == "sports" else scale.neighbors_rows
+    if _shared_session is not None:
+        from repro.workloads.queries import WorkloadSpec
+
+        spec = WorkloadSpec(
+            dataset=dataset,
+            level=level,
+            num_rows=num_rows,
+            cache_labels=cache_labels,
+            backend=backend,
+        )
+        return _shared_session.workload_for(spec)
     return build_workload(
         dataset, level=level, num_rows=num_rows, cache_labels=cache_labels, backend=backend
     )

@@ -1,14 +1,120 @@
-"""Experiment scale presets.
+"""Experiment scale presets and the canonical spec-string grammar.
 
 The paper runs on ~47 k (Sports) and ~73 k (Neighbors) objects with dozens of
 trials per configuration.  The drivers accept an :class:`ExperimentScale` so
 the same code can run at full paper scale, at a laptop-friendly scale (the
 default for the benchmark harness), or at a tiny scale for smoke tests.
+
+This module is also the home of :class:`SpecString` — the one grammar behind
+every ad-hoc textual knob in the library (``backend=`` specs, ``dispatch=``
+modes, method spec strings).  Every consumer parses through
+:func:`SpecString.parse`, so a typo produces the same error message whether
+it arrives through a Python keyword argument, a CLI flag or the estimate
+server's JSON request schema.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SpecString:
+    """One parsed ``name[:argument]`` spec string.
+
+    The grammar is deliberately tiny — a lower-case name from a closed
+    vocabulary, optionally followed by ``:`` and a single argument — because
+    every textual knob in the library (query backends like
+    ``"chunked:4096"``, dispatch modes like ``"warm"``, method specs like
+    ``"lss:dirsol"``) fits it.  :func:`parse` is the single validation
+    point; all call sites therefore share one error message shape:
+
+    * ``unknown <kind> 'x'; choose from (...)`` for a name outside the
+      vocabulary, and
+    * ``<kind> 'x' takes no argument, got 'x:y'`` for an argument where none
+      is allowed.
+
+    Attributes:
+        kind: what the spec names (``"backend"``, ``"dispatch"``,
+            ``"method"``); used only in error messages.
+        name: the validated name part.
+        argument: the text after ``:``, or ``None`` when absent.
+    """
+
+    kind: str
+    name: str
+    argument: str | None = None
+
+    @classmethod
+    def parse(
+        cls,
+        kind: str,
+        value: str,
+        names: Sequence[str],
+        argument_names: Sequence[str] = (),
+    ) -> "SpecString":
+        """Parse and validate one spec string.
+
+        Args:
+            kind: label for error messages (``"backend"``, ``"dispatch"`` ...).
+            value: the raw spec string.
+            names: the closed vocabulary of valid names.
+            argument_names: the subset of ``names`` that may carry a
+                ``:argument`` suffix.
+        """
+        if not isinstance(value, str):
+            raise TypeError(f"{kind} spec must be a string, got {type(value).__name__}")
+        name, _, argument = value.partition(":")
+        if name not in tuple(names):
+            raise ValueError(f"unknown {kind} {name!r}; choose from {tuple(names)}")
+        if argument and name not in tuple(argument_names):
+            raise ValueError(f"{kind} {name!r} takes no argument, got {value!r}")
+        return cls(kind=kind, name=name, argument=argument or None)
+
+    def int_argument(self, default: int) -> int:
+        """The argument as a positive integer (``default`` when absent)."""
+        if self.argument is None:
+            return default
+        try:
+            parsed = int(self.argument)
+        except ValueError:
+            raise ValueError(
+                f"invalid {self.kind} argument in {self.name + ':' + self.argument!r}: "
+                "expected an integer"
+            ) from None
+        if parsed <= 0:
+            raise ValueError(f"{self.kind} argument must be positive in {self.canonical!r}")
+        return parsed
+
+    @property
+    def canonical(self) -> str:
+        """The spec re-rendered in canonical ``name[:argument]`` form."""
+        return self.name if self.argument is None else f"{self.name}:{self.argument}"
+
+
+def parse_method_spec(value: str | dict, **overrides):
+    """Build a :class:`~repro.parallel.methods.MethodSpec` from a spec string.
+
+    The grammar is ``<method>[:<optimizer>]`` — e.g. ``"lss"``,
+    ``"lss:dirsol"``, ``"srs"`` — validated against the same vocabularies the
+    dataclass enforces, with keyword ``overrides`` forwarded to the
+    constructor.  A dict value is treated as constructor keywords directly
+    (the JSON-request form of the estimate server).  The parity CLI and the
+    server's request schema both parse through here, so a bad method string
+    fails identically everywhere.
+    """
+    from repro.core.lss import OPTIMIZERS
+    from repro.parallel.methods import METHODS, MethodSpec
+
+    if isinstance(value, dict):
+        merged = {**value, **overrides}
+        return MethodSpec(**merged)
+    spec = SpecString.parse("method", value, METHODS, argument_names=("lss",))
+    if spec.argument is not None:
+        SpecString.parse("optimizer", spec.argument, OPTIMIZERS)
+        overrides.setdefault("optimizer", spec.argument)
+    return MethodSpec(method=spec.name, **overrides)
 
 
 @dataclass(frozen=True)

@@ -27,8 +27,9 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.experiments.config import parse_method_spec
 from repro.parallel.fingerprint import estimates_fingerprint, task_fingerprint
-from repro.parallel.methods import METHODS, MethodSpec
+from repro.parallel.methods import METHODS
 from repro.workloads.queries import WorkloadSpec
 from repro.workloads.runner import TrialRunner
 
@@ -165,7 +166,10 @@ def run_backend_parity(
 
         budget = workload.sample_size(fraction)
         for method in methods:
-            method_spec = MethodSpec(method=method)
+            # One grammar for method specs everywhere: a bare name ("lss") or
+            # name:argument ("lss:dirsol"), exactly as the server's JSON
+            # schema and the workload spec strings parse them.
+            method_spec = parse_method_spec(method)
             runner = TrialRunner(workload=workload, num_trials=num_trials, seed=master_seed)
             runner.run_method(method, method_spec, budget)
             estimates = runner.estimates[method]

@@ -92,10 +92,13 @@ class ParallelTrialRunner:
     def __post_init__(self) -> None:
         if self.workload is not None and self.workload.spec not in (None, self.workload_spec):
             raise ValueError("prebuilt workload does not match workload_spec")
-        if self.dispatch not in DISPATCH_MODES:
-            raise ValueError(
-                f"unknown dispatch {self.dispatch!r}; choose from {DISPATCH_MODES}"
-            )
+        # Validate through the shared spec-string grammar so a bad dispatch
+        # mode fails with the same message shape as a bad backend or method
+        # spec (lazy import: experiments.config is outside the parallel
+        # package's import closure).
+        from repro.experiments.config import SpecString
+
+        SpecString.parse("dispatch", self.dispatch, DISPATCH_MODES)
 
     def _materialised_workload(self) -> Workload:
         if self.workload is None:

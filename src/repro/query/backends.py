@@ -289,8 +289,12 @@ class SqliteBackend(QueryBackend):
     def __init__(self, table: Table, predicate: Predicate, table_name: str | None = None) -> None:
         super().__init__(table, predicate)
         self.table_name = table_name or table.name or "objects"
+        # ``check_same_thread=False``: the estimate server evaluates requests
+        # on executor threads while a per-workload lock serialises access to
+        # any one backend; combined with the WAL/busy_timeout pragmas from
+        # ``table_to_sqlite`` this makes concurrent service reads safe.
         self.connection: sqlite3.Connection | None = table_to_sqlite(
-            table, table_name=self.table_name
+            table, table_name=self.table_name, check_same_thread=False
         )
         quoted = quote_identifier(self.table_name)
         if isinstance(predicate, NeighborCountPredicate):
@@ -372,26 +376,14 @@ def canonical_backend_spec(spec: "str | QueryBackend | None") -> str:
         return "numpy"
     if isinstance(spec, QueryBackend):
         return spec.spec
-    if not isinstance(spec, str):
-        raise TypeError(
-            f"backend spec must be a string or QueryBackend, got {type(spec).__name__}"
-        )
-    name, _, argument = spec.partition(":")
-    if name not in BACKEND_NAMES:
-        raise ValueError(f"unknown backend {name!r}; choose from {BACKEND_NAMES}")
-    if name != "chunked":
-        if argument:
-            raise ValueError(f"backend {name!r} takes no argument, got {spec!r}")
-        return name
-    chunk_rows = DEFAULT_CHUNK_ROWS
-    if argument:
-        try:
-            chunk_rows = int(argument)
-        except ValueError:
-            raise ValueError(f"invalid chunk size in backend spec {spec!r}") from None
-    if chunk_rows <= 0:
-        raise ValueError(f"chunk size must be positive in backend spec {spec!r}")
-    return f"chunked:{chunk_rows}"
+    # Lazy import: repro.experiments.__init__ transitively imports this
+    # module, so a top-level import of the grammar would be circular.
+    from repro.experiments.config import SpecString
+
+    parsed = SpecString.parse("backend", spec, BACKEND_NAMES, argument_names=("chunked",))
+    if parsed.name != "chunked":
+        return parsed.name
+    return f"chunked:{parsed.int_argument(DEFAULT_CHUNK_ROWS)}"
 
 
 def make_backend(

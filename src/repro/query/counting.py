@@ -267,6 +267,24 @@ class CountingQuery:
         """Return a label oracle bound to this query (for the estimators)."""
         return self.evaluate
 
+    def predicate_values(self, indices: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Raw predicate values for objects whose evaluation was already paid.
+
+        Only available when the predicate thresholds an expensive per-object
+        value (``predicate.supports_values``).  This path is deliberately
+        **not** charged to accounting: under the paper's cost model the
+        expensive part of ``q(o)`` is computing the value, which the caller
+        asserts has already been charged through :meth:`evaluate` on exactly
+        these indices.  The service layer uses it to re-label a learning set
+        under sibling thresholds without spending new oracle calls.
+        """
+        if not self.predicate.supports_values:
+            raise ValueError(
+                f"predicate {type(self.predicate).__name__} has no value decomposition"
+            )
+        indices = np.asarray(indices, dtype=np.int64)
+        return self.predicate.evaluate_values(self.table, indices)
+
     # -- ground truth ---------------------------------------------------------
     def ground_truth_labels(self) -> np.ndarray:
         """Exact label of every object (bulk path; not charged to accounting)."""

@@ -39,6 +39,29 @@ class Predicate(ABC):
     #: heuristic uses exactly these as classifier features.
     feature_columns: tuple[str, ...] = ()
 
+    #: whether the predicate is a threshold over an expensive per-object
+    #: *value* (see :meth:`evaluate_values`).  Both built-ins are: the cost
+    #: of evaluating ``q`` is computing the value (a neighbour count, a
+    #: dominator count); the threshold comparison afterwards is free.  When
+    #: true, a sibling predicate at another threshold can re-label an
+    #: already-valued object set at zero additional oracle cost — the
+    #: cross-threshold reuse the service layer's ``/sweep`` is built on.
+    supports_values: bool = False
+
+    def evaluate_values(self, table: Table, indices: np.ndarray) -> np.ndarray:
+        """The expensive per-object values the predicate thresholds over.
+
+        Only meaningful when :attr:`supports_values` is true.  Computing a
+        value costs exactly as much as one predicate evaluation (it *is* the
+        evaluation, minus the final comparison), so callers charging oracle
+        accounting should charge it identically.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no value decomposition")
+
+    def labels_from_values(self, values: np.ndarray) -> np.ndarray:
+        """Apply the threshold to precomputed values (the free half of ``q``)."""
+        raise NotImplementedError(f"{type(self).__name__} has no value decomposition")
+
     @abstractmethod
     def evaluate(self, table: Table, indices: np.ndarray) -> np.ndarray:
         """Evaluate ``q`` object by object; returns a 0/1 array."""
@@ -132,6 +155,16 @@ class NeighborCountPredicate(Predicate):
         """Exact neighbour count for every row (used for calibration)."""
         return self._grid(table).count_within_bulk(self.distance, exclude_self=True)
 
+    supports_values = True
+
+    def evaluate_values(self, table: Table, indices: np.ndarray) -> np.ndarray:
+        grid = self._grid(table)
+        indices = np.asarray(indices, dtype=np.int64)
+        return grid.count_within_batch(indices, self.distance, exclude_self=True)
+
+    def labels_from_values(self, values: np.ndarray) -> np.ndarray:
+        return (np.asarray(values) <= self.max_neighbors).astype(np.float64)
+
 
 class SkybandPredicate(Predicate):
     """``q(o)``: the object is dominated by fewer than ``k`` other objects.
@@ -186,6 +219,16 @@ class SkybandPredicate(Predicate):
     def dominance_counts(self, table: Table) -> np.ndarray:
         """Exact dominator count for every row (used for calibration)."""
         return dominance_counts(self._points(table))
+
+    supports_values = True
+
+    def evaluate_values(self, table: Table, indices: np.ndarray) -> np.ndarray:
+        points = self._points(table)
+        indices = np.asarray(indices, dtype=np.int64)
+        return dominance_count_batch(points, indices)
+
+    def labels_from_values(self, values: np.ndarray) -> np.ndarray:
+        return (np.asarray(values) < self.k).astype(np.float64)
 
 
 class CallablePredicate(Predicate):

@@ -39,10 +39,25 @@ def quote_identifier(name: str) -> str:
     return f'"{escaped}"'
 
 
+#: Pragmas applied to every connection this module opens.  The service layer
+#: shares one read-mostly connection across executor threads, so the settings
+#: follow the concurrent-reader recipe: WAL keeps readers unblocked by the
+#: occasional writer, ``busy_timeout`` retries instead of failing fast on a
+#: held lock, and NORMAL sync is safe under WAL.  All four are no-ops or
+#: harmless on the default ``:memory:`` database.
+CONNECTION_PRAGMAS = (
+    "PRAGMA journal_mode=WAL",
+    "PRAGMA busy_timeout=30000",
+    "PRAGMA synchronous=NORMAL",
+    "PRAGMA foreign_keys=ON",
+)
+
+
 def table_to_sqlite(
     table: Table,
     connection: sqlite3.Connection | None = None,
     table_name: str | None = None,
+    check_same_thread: bool = True,
 ) -> sqlite3.Connection:
     """Materialise a table into sqlite3 (in memory unless given a connection).
 
@@ -50,8 +65,22 @@ def table_to_sqlite(
     datasets named after SQL keywords or containing hyphens (the workload
     builders produce names like ``neighbors-S``) materialise verbatim
     instead of corrupting the DDL.
+
+    Args:
+        table: the table to materialise.
+        connection: reuse an existing connection instead of opening one.
+        table_name: name for the materialised table (defaults to the
+            table's own name).
+        check_same_thread: forwarded to :func:`sqlite3.connect` when a new
+            connection is opened.  The estimate server evaluates requests on
+            executor threads while serialising access with its own locks, so
+            it passes ``False``; direct library use keeps sqlite's default
+            same-thread guard.
     """
-    connection = connection or sqlite3.connect(":memory:")
+    if connection is None:
+        connection = sqlite3.connect(":memory:", check_same_thread=check_same_thread)
+        for pragma in CONNECTION_PRAGMAS:
+            connection.execute(pragma)
     name = quote_identifier(table_name or table.name)
     columns = table.column_names
     column_spec = ", ".join(f"{quote_identifier(column)} REAL" for column in columns)

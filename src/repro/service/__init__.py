@@ -1,0 +1,40 @@
+"""Estimation-as-a-service: a resident session facade and an async server.
+
+The paper's expensive asset — a trained classifier's score ordering over a
+table — outlives any single query, so this package keeps it (and the table,
+grid index and bulk label cache behind it) resident:
+
+* :class:`~repro.service.session.Session` — the canonical programmatic entry
+  point.  One object owns the resident state and serves ``estimate`` /
+  ``sweep`` / ``design`` calls with per-request seed streams, so a learning
+  phase is paid once and threshold/budget sweeps re-stratify from cached
+  scores without re-labelling.
+* :mod:`repro.service.server` — a dependency-light asyncio HTTP server
+  (``POST /estimate``, ``POST /sweep``, ``GET /healthz``, ``GET /stats``)
+  exposing one session to concurrent clients.
+* :mod:`repro.service.sweep` — the deterministic score-reuse specs; a served
+  sweep estimate is byte-identical to a serial
+  :func:`~repro.parallel.tasks.execute_trials` run of the same spec.
+
+Every response carries the estimates' :func:`~repro.parallel.fingerprint`
+digests, so served results are verifiable against serial runs at the byte
+level.
+"""
+
+from repro.service.session import ResidentWorkload, Session, SessionStats
+from repro.service.sweep import (
+    LearnedScoresCache,
+    ScoredMethodSpec,
+    default_scores_cache,
+    sweep_point_seed,
+)
+
+__all__ = [
+    "LearnedScoresCache",
+    "ResidentWorkload",
+    "ScoredMethodSpec",
+    "Session",
+    "SessionStats",
+    "default_scores_cache",
+    "sweep_point_seed",
+]

@@ -1,0 +1,296 @@
+"""A dependency-light asyncio estimate server over one resident session.
+
+Stdlib only: HTTP/1.1 parsed directly off asyncio streams — no web framework,
+matching the repository's no-new-dependencies rule.  The split of work is the
+point of the design:
+
+* ``POST /estimate`` and ``POST /sweep`` run on a small thread pool
+  (estimation holds the GIL only inside numpy/sqlite kernels, which release
+  it), so a long learning phase never occupies the event loop;
+* ``GET /healthz`` and ``GET /stats`` are answered inline on the loop, so
+  liveness checks stay responsive while estimates are in flight.
+
+Concurrent estimate requests against the same resident table serialise on the
+session's per-resident lock — request *concurrency* changes latency, never
+bytes, because every request derives its randomness from its own seed.
+
+Run one with::
+
+    python -m repro.service.server --port 8646 --dataset neighbors --num-rows 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.service.schema import (
+    RequestError,
+    estimate_payload,
+    parse_estimate_request,
+    parse_sweep_request,
+    sweep_payload,
+)
+from repro.service.session import Session
+
+#: Upper bound on accepted request bodies (these are spec-sized, not data-sized).
+MAX_BODY_BYTES = 1 << 20
+
+
+def _json_bytes(payload: Any) -> bytes:
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
+
+
+class EstimateServer:
+    """One session exposed over HTTP (``/estimate``, ``/sweep``, ``/healthz``, ``/stats``)."""
+
+    def __init__(
+        self,
+        session: Session | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 2,
+        **session_options: Any,
+    ) -> None:
+        self.session = session if session is not None else Session(**session_options)
+        self.host = host
+        self.port = port
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="estimate"
+        )
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting (``port=0`` picks an ephemeral port)."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self.session.close()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- request handling -----------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload = await self._dispatch(reader)
+        except RequestError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except ValueError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except asyncio.IncompleteReadError:
+            writer.close()
+            return
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        body = _json_bytes(payload)
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error"}
+        writer.write(
+            f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + body
+        )
+        try:
+            await writer.drain()
+        finally:
+            writer.close()
+
+    async def _dispatch(self, reader: asyncio.StreamReader) -> tuple[int, Any]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise RequestError("empty request")
+        try:
+            verb, path, _ = request_line.split(" ", 2)
+        except ValueError as exc:
+            raise RequestError(f"malformed request line {request_line!r}") from exc
+        content_length = 0
+        while True:
+            header = (await reader.readline()).decode("latin-1").strip()
+            if not header:
+                break
+            name, _, value = header.partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if content_length > MAX_BODY_BYTES:
+            raise RequestError("request body too large")
+        body = await reader.readexactly(content_length) if content_length else b""
+
+        route = (verb.upper(), path.split("?", 1)[0])
+        if route == ("GET", "/healthz"):
+            # Inline on the event loop: alive even while the executor is busy
+            # with a learning phase.
+            return 200, {"status": "ok"}
+        if route == ("GET", "/stats"):
+            return 200, self.session.stats_dict()
+        if route == ("POST", "/estimate"):
+            return 200, await self._run(self._estimate, body)
+        if route == ("POST", "/sweep"):
+            return 200, await self._run(self._sweep, body)
+        return 404, {"error": f"no route for {verb} {path}"}
+
+    async def _run(self, handler: Callable[[bytes], Any], body: bytes) -> Any:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, handler, body)
+
+    @staticmethod
+    def _body_json(body: bytes) -> Any:
+        try:
+            return json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise RequestError(f"invalid JSON body: {exc}") from exc
+
+    def _estimate(self, body: bytes) -> dict:
+        kwargs = parse_estimate_request(self._body_json(body))
+        return estimate_payload(self.session.estimate(**kwargs))
+
+    def _sweep(self, body: bytes) -> dict:
+        kwargs = parse_sweep_request(self._body_json(body))
+        return sweep_payload(self.session.sweep(**kwargs))
+
+
+class ServerThread:
+    """A running :class:`EstimateServer` on a background event loop.
+
+    The harness tests, the smoke check and the example client all need a
+    server alongside synchronous code; this wraps the asyncio lifecycle into
+    ``start()`` / ``stop()`` with a ready event.  Use as a context manager.
+    """
+
+    def __init__(self, server: EstimateServer | None = None, **server_options: Any) -> None:
+        self.server = server if server is not None else EstimateServer(**server_options)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        self._thread = threading.Thread(target=self._serve, name="estimate-server", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("estimate server failed to start in time")
+        return self
+
+    def _serve(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def _main() -> None:
+            await self.server.start()
+            self._ready.set()
+            assert self.server._server is not None
+            async with self.server._server:
+                try:
+                    await self.server._server.serve_forever()
+                except asyncio.CancelledError:
+                    pass
+
+        try:
+            self._loop.run_until_complete(_main())
+        finally:
+            self._loop.close()
+
+    def stop(self) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+
+        def _shutdown() -> None:
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+
+        loop.call_soon_threadsafe(_shutdown)
+        thread.join(timeout=10)
+        self.server._executor.shutdown(wait=False, cancel_futures=True)
+        self.server.session.close()
+        self._loop = None
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def request_json(
+    url: str, path: str, payload: Any = None, method: str | None = None, timeout: float = 300.0
+) -> Any:
+    """Tiny JSON-over-HTTP client (urllib), shared by smoke/tests/examples."""
+    import urllib.error
+    import urllib.request
+
+    data = None if payload is None else _json_bytes(payload)
+    request = urllib.request.Request(
+        url.rstrip("/") + path,
+        data=data,
+        method=method or ("POST" if data is not None else "GET"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        detail = json.loads(exc.read() or b"{}")
+        raise RuntimeError(f"{path} -> {exc.code}: {detail.get('error', detail)}") from exc
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description="Run the resident estimate server.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8646)
+    parser.add_argument("--dataset", default="neighbors", help="dataset made resident first")
+    parser.add_argument("--level", default="S", help="default selectivity level")
+    parser.add_argument("--num-rows", type=int, default=None, help="table size override")
+    parser.add_argument("--backend", default="numpy", help="query backend spec")
+    parser.add_argument("--max-resident", type=int, default=4)
+    parser.add_argument("--max-workers", type=int, default=2, help="estimate thread pool size")
+    options = parser.parse_args(argv)
+
+    session = Session(
+        options.dataset,
+        level=options.level,
+        num_rows=options.num_rows,
+        backend=options.backend,
+        max_resident=options.max_resident,
+    )
+    server = EstimateServer(
+        session=session, host=options.host, port=options.port, max_workers=options.max_workers
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"estimate server listening on {server.url}")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

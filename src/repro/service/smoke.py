@@ -1,0 +1,145 @@
+"""CI smoke check: boot the server, serve three requests, verify every byte.
+
+Exercises the whole service stack in one short run — session residency, the
+asyncio server, the JSON schema and the digest plumbing:
+
+1. ``POST /estimate`` — digests must equal a serial
+   :func:`~repro.parallel.tasks.execute_trials` run of the same task;
+2. ``POST /sweep`` — exactly one learning phase, and a spot-checked point
+   must be byte-identical to its serial score-reuse replay;
+3. ``GET /stats`` — counters must reflect the two requests.
+
+Exit code 0 on success, 1 with a diagnostic on any mismatch — the fast CI
+tier runs ``python -m repro.service.smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.scores import LearnedScoresSpec
+from repro.parallel.fingerprint import estimates_fingerprint
+from repro.parallel.tasks import TrialTask, execute_trials
+from repro.sampling.rng import spawn_seed_descriptors
+from repro.service.server import ServerThread, request_json
+from repro.service.sweep import ScoredMethodSpec, sweep_point_seed
+from repro.workloads.queries import WorkloadSpec
+
+NUM_ROWS = 500
+TABLE_SEED = 11
+BUDGET = 60
+NUM_TRIALS = 2
+SEED = 123
+SWEEP_LEVELS = [0.1, 0.25, 0.4]
+LEARN_BUDGET = 40
+LEARN_SEED = 99
+
+
+def _serial_fingerprint(spec: WorkloadSpec, method_spec, seed, budget: int) -> str:
+    workload = spec.build()
+    tasks = tuple(
+        TrialTask(trial_index=index, seed=descriptor, budget=budget)
+        for index, descriptor in enumerate(spawn_seed_descriptors(seed, NUM_TRIALS))
+    )
+    records = execute_trials(workload, method_spec, tasks)
+    return estimates_fingerprint(record.to_estimate() for record in records)
+
+
+def run_smoke(verbose: bool = True) -> int:
+    def note(message: str) -> None:
+        if verbose:
+            print(f"[smoke] {message}")
+
+    failures: list[str] = []
+    anchor_spec = WorkloadSpec(dataset="neighbors", level="S", num_rows=NUM_ROWS, seed=TABLE_SEED)
+    with ServerThread(source=anchor_spec) as server:
+        note(f"server up at {server.url}")
+
+        # Request 1: /estimate, verified byte-for-byte against a serial run.
+        estimate = request_json(
+            server.url,
+            "/estimate",
+            {"method": "lss", "budget": BUDGET, "num_trials": NUM_TRIALS, "seed": SEED},
+        )
+        from repro.experiments.config import parse_method_spec
+
+        expected = _serial_fingerprint(anchor_spec, parse_method_spec("lss"), SEED, BUDGET)
+        note(f"/estimate fingerprint {estimate['fingerprint'][:16]}…")
+        if estimate["fingerprint"] != expected:
+            failures.append(
+                f"/estimate fingerprint {estimate['fingerprint']} != serial {expected}"
+            )
+
+        # Request 2: /sweep with one learning phase, spot-check a point.
+        sweep = request_json(
+            server.url,
+            "/sweep",
+            {
+                "levels": SWEEP_LEVELS,
+                "method": "lss",
+                "budget": BUDGET,
+                "num_trials": NUM_TRIALS,
+                "seed": SEED,
+                "learn_budget": LEARN_BUDGET,
+                "learn_seed": LEARN_SEED,
+            },
+        )
+        note(
+            f"/sweep served {len(sweep['points'])} points with "
+            f"{sweep['learning_runs']} learning run(s)"
+        )
+        if sweep["learning_runs"] != 1:
+            failures.append(f"sweep ran {sweep['learning_runs']} learning phases, wanted 1")
+        point_index = len(SWEEP_LEVELS) - 1
+        scored = ScoredMethodSpec(
+            method="lss",
+            anchor=anchor_spec,
+            scores=LearnedScoresSpec(learn_budget=LEARN_BUDGET, learn_seed=LEARN_SEED),
+        )
+        point_spec = WorkloadSpec(
+            dataset="neighbors",
+            level=SWEEP_LEVELS[point_index],
+            num_rows=NUM_ROWS,
+            seed=TABLE_SEED,
+        )
+        expected_point = _serial_fingerprint(
+            point_spec,
+            scored,
+            sweep_point_seed(SEED, point_index, len(SWEEP_LEVELS)),
+            BUDGET,
+        )
+        served_point = sweep["points"][point_index]["fingerprint"]
+        if served_point != expected_point:
+            failures.append(
+                f"sweep point {point_index} fingerprint {served_point} != serial "
+                f"{expected_point}"
+            )
+
+        # Request 3: /stats must reflect what was just served.
+        stats = request_json(server.url, "/stats")
+        note(f"/stats: {stats}")
+        expected_estimates = NUM_TRIALS * (1 + len(SWEEP_LEVELS))
+        if stats["estimates_served"] != expected_estimates:
+            failures.append(
+                f"stats served {stats['estimates_served']} estimates, "
+                f"wanted {expected_estimates}"
+            )
+        if stats["learning_runs"] != 1:
+            failures.append(f"stats report {stats['learning_runs']} learning runs, wanted 1")
+
+    for failure in failures:
+        print(f"[smoke] FAIL: {failure}", file=sys.stderr)
+    note("all three requests verified" if not failures else f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quiet", action="store_true", help="suppress progress notes")
+    options = parser.parse_args(argv)
+    return run_smoke(verbose=not options.quiet)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

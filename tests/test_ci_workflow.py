@@ -66,6 +66,16 @@ class TestWorkflowStructure:
         )
         assert str(parity_step.get("name", "")).lower() == "backend parity"
 
+    def test_fast_job_runs_service_smoke(self, workflow):
+        # The service smoke gate: every push/PR boots the estimate server,
+        # serves estimate/sweep/stats requests and verifies every served
+        # digest byte-for-byte against in-process serial execution.
+        steps = workflow["jobs"]["fast"]["steps"]
+        smoke_step = next(
+            s for s in steps if "repro.service.smoke" in str(s.get("run", ""))
+        )
+        assert str(smoke_step.get("name", "")).lower() == "service smoke"
+
     def test_jobs_cache_generated_datasets(self, workflow):
         # Both tiers persist the generated seeded datasets between jobs,
         # keyed on the dataset modules' content hash.
@@ -123,6 +133,25 @@ class TestWorkflowStructure:
         ]
         assert any(
             "BENCH_parallel" in str(s.get("with", {}).get("path", "")) for s in uploads
+        )
+
+    def test_full_job_gates_service_benchmark(self, workflow):
+        # The nightly tier re-measures the warm-resident vs cold-one-shot
+        # comparison, checks it against the committed BENCH_service.json
+        # baseline (digest divergence and speedup regressions fail) and
+        # archives the fresh document as an artifact.
+        steps = workflow["jobs"]["full"]["steps"]
+        service_step = next(
+            s for s in steps if "benchmarks/run_service.py" in str(s.get("run", ""))
+        )
+        assert "--check-against BENCH_service.json" in " ".join(service_step["run"].split())
+        uploads = [
+            s
+            for s in steps
+            if str(s.get("uses", "")).startswith("actions/upload-artifact")
+        ]
+        assert any(
+            "BENCH_service" in str(s.get("with", {}).get("path", "")) for s in uploads
         )
 
     def test_jobs_pin_timeouts(self, workflow):
