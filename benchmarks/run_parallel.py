@@ -37,6 +37,8 @@ if str(_SRC) not in sys.path:
 
 import numpy as np  # noqa: E402
 
+from repro import obs  # noqa: E402
+from repro.obs.export import group_stage_totals, stage_totals  # noqa: E402
 from repro.parallel import (  # noqa: E402
     MethodSpec,
     ParallelTrialRunner,
@@ -155,8 +157,20 @@ def _gate(total_serial: float, total_warm: float, usable: int, workers: int) -> 
     return gate
 
 
-def run_suite(scale: str = "full", trials: int | None = None, workers: int = GATE_WORKERS) -> dict:
-    """Run the three-way sweep and assemble the trajectory document."""
+def run_suite(
+    scale: str = "full",
+    trials: int | None = None,
+    workers: int = GATE_WORKERS,
+    breakdown: bool = False,
+) -> dict:
+    """Run the three-way sweep and assemble the trajectory document.
+
+    With ``breakdown=True`` the run enables ``repro.obs``: serial and warm
+    sweeps each get estimator-stage second shares, and the warm sweep also
+    reports the pool's dispatch/queue-wait/chunk-size histograms (workers
+    ship their registries back with each chunk).  Fingerprint identity is
+    still asserted — observability never changes estimate bytes.
+    """
     num_rows = 12_000 if scale == "full" else 2_000
     if trials is None:
         trials = 16 if scale == "full" else 6
@@ -166,9 +180,33 @@ def run_suite(scale: str = "full", trials: int | None = None, workers: int = GAT
     # absorbs the one-off full-table predicate scan.
     workload.query.export_label_cache(compute=True)
 
+    was_enabled = obs.enabled()
+    registry = obs.registry()
+    if breakdown:
+        obs.set_enabled(True)
+        registry.reset()
     serial = _sweep_serial(workload, budget, trials)
+    serial_stages = group_stage_totals(stage_totals(registry)) if breakdown else None
     cold = _sweep_cold(workload, budget, trials, workers)
+    if breakdown:
+        registry.reset()
     warm, startup_seconds = _sweep_warm(workload, budget, trials, workers)
+    obs_breakdown = None
+    if breakdown:
+        obs_breakdown = {
+            "serial_stages": serial_stages,
+            "warm_stages": group_stage_totals(stage_totals(registry)),
+            "pool": {
+                "chunks": registry.counter_total(obs.POOL_CHUNKS),
+                "chunk_trials": registry.histogram_summary(obs.POOL_CHUNK_TRIALS),
+                "dispatch_seconds": registry.histogram_summary(obs.POOL_DISPATCH_SECONDS),
+                "queue_wait_seconds": registry.histogram_summary(
+                    obs.POOL_QUEUE_WAIT_SECONDS
+                ),
+            },
+        }
+        obs.set_enabled(was_enabled)
+        registry.reset()
 
     methods = []
     for method in METHODS:
@@ -212,7 +250,7 @@ def run_suite(scale: str = "full", trials: int | None = None, workers: int = GAT
         f"warm {total_warm:.2f} s (+{startup_seconds:.2f} s startup)  "
         f"gate {gate['status']} ({gate['speedup']}x vs {gate['target']}x target)"
     )
-    return {
+    document = {
         "suite": "parallel-engine",
         "scale": scale,
         "trials_per_method": trials,
@@ -226,6 +264,9 @@ def run_suite(scale: str = "full", trials: int | None = None, workers: int = GAT
         "totals": totals,
         "gate": gate,
     }
+    if obs_breakdown is not None:
+        document["stage_breakdown"] = obs_breakdown
+    return document
 
 
 def check_against(document: dict, baseline_path: pathlib.Path) -> int:
@@ -281,13 +322,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trials", type=int, default=None)
     parser.add_argument("--workers", type=int, default=GATE_WORKERS)
     parser.add_argument(
+        "--breakdown",
+        action="store_true",
+        help="enable repro.obs and embed stage/pool breakdowns in the document",
+    )
+    parser.add_argument(
         "--check-against",
         type=pathlib.Path,
         default=None,
         help="committed BENCH_parallel.json to compare the fresh run against",
     )
     args = parser.parse_args(argv)
-    document = run_suite(scale=args.scale, trials=args.trials, workers=args.workers)
+    document = run_suite(
+        scale=args.scale, trials=args.trials, workers=args.workers, breakdown=args.breakdown
+    )
     args.output.write_text(json.dumps(document, indent=2) + "\n")
     print(f"wrote {args.output}")
     if args.check_against is not None:

@@ -45,7 +45,9 @@ if str(_SRC) not in sys.path:
 
 import numpy as np  # noqa: E402
 
+from repro import obs  # noqa: E402
 from repro.core.pipeline import learn_to_sample  # noqa: E402
+from repro.obs.export import group_stage_totals, stage_totals  # noqa: E402
 from repro.service.server import ServerThread, request_json  # noqa: E402
 from repro.workloads.queries import WorkloadSpec  # noqa: E402
 
@@ -91,9 +93,19 @@ def _run_cold(workload, method: str, budget: int, requests: int) -> "list[float]
 
 
 def _run_warm(
-    anchor: WorkloadSpec, method: str, budget: int, learn_budget: int, requests: int
+    anchor: WorkloadSpec,
+    method: str,
+    budget: int,
+    learn_budget: int,
+    requests: int,
+    after_first=None,
 ) -> tuple["list[float]", float, dict]:
-    """Server-resident requests: learning paid once, then score reuse."""
+    """Server-resident requests: learning paid once, then score reuse.
+
+    ``after_first`` is invoked right after the learning-heavy first request —
+    the breakdown mode resets the obs registry there, so the captured warm
+    stage shares describe only steady-state requests.
+    """
 
     def sweep_payload(seed: int) -> dict:
         return {
@@ -112,6 +124,8 @@ def _run_warm(
         first = request_json(server.url, "/sweep", sweep_payload(MASTER_SEED - 1))
         first_seconds = time.perf_counter() - started
         assert first["learning_runs"] == 1, "first warm request must learn"
+        if after_first is not None:
+            after_first()
 
         for index in range(requests):
             started = time.perf_counter()
@@ -141,8 +155,16 @@ def _gate(cold_p50_ms: float, warm_p50_ms: float) -> dict:
     }
 
 
-def run_suite(scale: str = "full", requests: int | None = None) -> dict:
-    """Run the cold/warm comparison and assemble the trajectory document."""
+def run_suite(scale: str = "full", requests: int | None = None, breakdown: bool = False) -> dict:
+    """Run the cold/warm comparison and assemble the trajectory document.
+
+    With ``breakdown=True`` the run enables ``repro.obs`` and embeds
+    per-stage (learning/design/sampling) second shares for the cold path and
+    for steady-state warm requests.  The server runs in-process, so its
+    executor threads write the same global registry this driver reads.
+    Observability never changes estimate bytes, so the latencies and the
+    gate stay comparable either way (modulo the timing overhead itself).
+    """
     num_rows = 12_000 if scale == "full" else 2_000
     if requests is None:
         requests = 30 if scale == "full" else 8
@@ -151,14 +173,30 @@ def run_suite(scale: str = "full", requests: int | None = None) -> dict:
     budget = workload.sample_size(SAMPLE_FRACTION)
     learn_budget = max(2, budget // 3)
 
+    was_enabled = obs.enabled()
+    registry = obs.registry()
+    if breakdown:
+        obs.set_enabled(True)
+
     methods = {}
     gate = None
     first_seconds = stats = None
     for method, method_requests in (("lws", requests), ("lss", max(3, requests // 4))):
+        if breakdown:
+            registry.reset()
         cold_latencies = _run_cold(workload, method, budget, method_requests)
+        cold_stages = group_stage_totals(stage_totals(registry)) if breakdown else None
+        if breakdown:
+            registry.reset()
         warm_latencies, warm_first, warm_stats = _run_warm(
-            anchor, method, budget, learn_budget, method_requests
+            anchor,
+            method,
+            budget,
+            learn_budget,
+            method_requests,
+            after_first=registry.reset if breakdown else None,
         )
+        warm_stages = group_stage_totals(stage_totals(registry)) if breakdown else None
         cold = _latency_summary(cold_latencies)
         warm = _latency_summary(warm_latencies)
         methods[method] = {
@@ -167,6 +205,12 @@ def run_suite(scale: str = "full", requests: int | None = None) -> dict:
             "warm_first_request_seconds": round(warm_first, 4),
             "warm_speedup_p50": round(cold["p50_ms"] / warm["p50_ms"], 3),
         }
+        if breakdown:
+            methods[method]["stage_breakdown"] = {"cold": cold_stages, "warm": warm_stages}
+            print(
+                f"{method} stage shares: cold {cold_stages['shares']} | "
+                f"warm {warm_stages['shares']}"
+            )
         print(
             f"{method}: cold p50 {cold['p50_ms']:.1f} ms  p99 {cold['p99_ms']:.1f} ms | "
             f"warm p50 {warm['p50_ms']:.1f} ms  p99 {warm['p99_ms']:.1f} ms  "
@@ -176,6 +220,9 @@ def run_suite(scale: str = "full", requests: int | None = None) -> dict:
         if method == "lws":
             gate = _gate(cold["p50_ms"], warm["p50_ms"])
             first_seconds, stats = warm_first, warm_stats
+    if breakdown:
+        obs.set_enabled(was_enabled)
+        registry.reset()
     print(
         f"gate {gate['status']}: {gate['speedup']}x vs {gate['target']}x target; "
         f"each warm server ran 1 learning phase"
@@ -183,6 +230,7 @@ def run_suite(scale: str = "full", requests: int | None = None) -> dict:
     return {
         "suite": "estimate-service",
         "scale": scale,
+        "breakdown": breakdown,
         "num_rows": num_rows,
         "budget": budget,
         "learn_budget": learn_budget,
@@ -246,13 +294,18 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--scale", choices=("small", "full"), default="full")
     parser.add_argument("--requests", type=int, default=None)
     parser.add_argument(
+        "--breakdown",
+        action="store_true",
+        help="enable repro.obs and embed per-stage second shares in the document",
+    )
+    parser.add_argument(
         "--check-against",
         type=pathlib.Path,
         default=None,
         help="committed BENCH_service.json to compare the fresh run against",
     )
     args = parser.parse_args(argv)
-    document = run_suite(scale=args.scale, requests=args.requests)
+    document = run_suite(scale=args.scale, requests=args.requests, breakdown=args.breakdown)
     args.output.write_text(json.dumps(document, indent=2) + "\n")
     print(f"wrote {args.output}")
     if args.check_against is not None:

@@ -19,7 +19,7 @@ import numpy as np
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
 
-from repro import CountingQuery, learn_to_sample
+from repro import CountingQuery, session
 from repro.query.predicates import CallablePredicate
 from repro.query.sql import table_to_sqlite
 from repro.query.table import Table
@@ -76,16 +76,19 @@ def main() -> None:
     print(f"Orders: {query.num_objects}, budget: {budget} predicate evaluations")
     print(f"True count (for validation): {query.true_count()}\n")
 
-    for method in ("lws", "lss", "srs"):
-        result = learn_to_sample(query, budget=budget, method=method, seed=7)
-        interval = result.estimate.count_interval
-        interval_text = (
-            f" 95% CI [{interval[0]:,.0f}, {interval[1]:,.0f}]" if interval else ""
-        )
-        print(
-            f"{method.upper():4s} estimate: {result.estimate.count:10,.1f}"
-            f"  (relative error {result.relative_error:.2%}){interval_text}"
-        )
+    # A lazily-constructed session: nothing becomes resident, the facade just
+    # dispatches the caller-owned query exactly as learn_to_sample once did.
+    with session() as facade:
+        for method in ("lws", "lss", "srs"):
+            result = facade.estimate_query(query, budget=budget, method=method, seed=7)
+            interval = result.estimate.count_interval
+            interval_text = (
+                f" 95% CI [{interval[0]:,.0f}, {interval[1]:,.0f}]" if interval else ""
+            )
+            print(
+                f"{method.upper():4s} estimate: {result.estimate.count:10,.1f}"
+                f"  (relative error {result.relative_error:.2%}){interval_text}"
+            )
 
     # Cross-check the predicate semantics on a few objects through sqlite.
     connection = table_to_sqlite(table)

@@ -15,7 +15,7 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
 
-from repro import learn_to_sample
+import repro
 from repro.workloads import build_neighbors_workload
 
 
@@ -29,7 +29,10 @@ def main() -> None:
     print(f"Workload: {query.name}")
     print(f"Objects: {query.num_objects}, predicate-evaluation budget: {budget}")
 
-    result = learn_to_sample(query, budget=budget, method="lss", seed=42)
+    # The session facade is the canonical entry point; adopting the built
+    # workload makes it resident, so follow-up estimates reuse the table.
+    with repro.session(workload) as facade:
+        result = facade.estimate_query(query, budget=budget, method="lss", seed=42)
     estimate = result.estimate
     low, high = estimate.count_interval
 

@@ -31,6 +31,10 @@ It provides:
   :class:`~repro.service.session.Session` facade (the canonical programmatic
   entry point, via :func:`repro.session`) and a dependency-light asyncio
   estimate server with cross-query score reuse.
+* ``repro.obs`` -- determinism-safe observability: hierarchical tracing
+  spans, a mergeable metrics registry and Prometheus/JSON exporters.
+  Disabled by default; enabling it (``REPRO_OBS=1``) never changes a byte
+  of any estimate.
 * ``repro.experiments`` -- drivers that regenerate every table and figure in
   the paper's evaluation section.
 
@@ -43,6 +47,7 @@ Quick start::
         sweep = s.sweep([0.1, 0.2, 0.3], budget=200, seed=0)  # one learning phase
 """
 
+from repro import obs
 from repro.core.estimate import CountEstimate
 from repro.core.lss import LearnedStratifiedSampling
 from repro.core.lws import LearnedWeightedSampling
@@ -53,7 +58,7 @@ from repro.sampling.srs import SimpleRandomSampling
 from repro.sampling.stratified import StratifiedSampling
 from repro.service.session import Session, session
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "CountEstimate",
@@ -68,6 +73,7 @@ __all__ = [
     "StratifiedSampling",
     "learn_scores",
     "learn_to_sample",
+    "obs",
     "session",
     "__version__",
 ]

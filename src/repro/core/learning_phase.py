@@ -17,6 +17,7 @@ import numpy as np
 from repro.learning.active import augment_training_set
 from repro.learning.base import Classifier
 from repro.learning.forest import RandomForestClassifier
+from repro.obs import trace as obs
 from repro.query.counting import CountingQuery
 from repro.sampling.rng import SeedLike, resolve_rng, sample_without_replacement
 
@@ -99,13 +100,17 @@ def run_learning_phase(
     initial_budget = labelling_budget - augmentation_budget
 
     predicate_seconds_before = query.evaluation_seconds
-    initial_indices = sample_without_replacement(objects, initial_budget, seed=rng)
-    initial_labels = query.evaluate(initial_indices)
+    # Inner spans are trace-only (obs.span, not obs.stage): their time is
+    # already accounted to the enclosing estimator-level stage.
+    with obs.span("learning.label"):
+        initial_indices = sample_without_replacement(objects, initial_budget, seed=rng)
+        initial_labels = query.evaluate(initial_indices)
 
     features = query.features()
     training_started = time.perf_counter()
-    fitted = model.clone() if model.is_fitted else model
-    fitted.fit(features[initial_indices], initial_labels)
+    with obs.span("learning.train"):
+        fitted = model.clone() if model.is_fitted else model
+        fitted.fit(features[initial_indices], initial_labels)
     training_seconds = time.perf_counter() - training_started
 
     labelled_indices = initial_indices

@@ -32,6 +32,7 @@ from repro.core.stratification import (
     smoothed_bernoulli_std,
 )
 from repro.learning.base import Classifier
+from repro.obs import trace as obs
 from repro.query.counting import CountingQuery
 from repro.sampling.rng import SeedLike, resolve_rng, sample_without_replacement
 from repro.sampling.srs import SimpleRandomSampling
@@ -231,15 +232,16 @@ class LearnedStratifiedSampling:
         """
         population = ordered_objects.size
         take = int(min(sampling_budget, population))
-        overhead_started = time.perf_counter()
-        positions = sample_without_replacement(population, take, seed=rng)
-        sampling_overhead_seconds = time.perf_counter() - overhead_started
-        labels = query.evaluate(ordered_objects[positions])
-        overhead_started = time.perf_counter()
-        srs = SimpleRandomSampling(confidence=self.confidence).estimate_from_labels(
-            labels, population
-        )
-        sampling_overhead_seconds += time.perf_counter() - overhead_started
+        with obs.stage("lss.pilot"):
+            overhead_started = time.perf_counter()
+            positions = sample_without_replacement(population, take, seed=rng)
+            sampling_overhead_seconds = time.perf_counter() - overhead_started
+            labels = query.evaluate(ordered_objects[positions])
+            overhead_started = time.perf_counter()
+            srs = SimpleRandomSampling(confidence=self.confidence).estimate_from_labels(
+                labels, population
+            )
+            sampling_overhead_seconds += time.perf_counter() - overhead_started
         timings = LSSPhaseTimings(
             learning_seconds=training_seconds,
             design_seconds=0.0,
@@ -292,14 +294,15 @@ class LearnedStratifiedSampling:
 
         learning_budget = max(int(round(self.learning_fraction * budget)), 2)
         learning_budget = min(learning_budget, budget - 4)
-        learning = run_learning_phase(
-            query,
-            learning_budget,
-            classifier=self.classifier,
-            active_learning_rounds=self.active_learning_rounds,
-            active_learning_fraction=self.active_learning_fraction,
-            seed=rng,
-        )
+        with obs.stage("lss.learning"):
+            learning = run_learning_phase(
+                query,
+                learning_budget,
+                classifier=self.classifier,
+                active_learning_rounds=self.active_learning_rounds,
+                active_learning_fraction=self.active_learning_fraction,
+                seed=rng,
+            )
 
         remaining = learning.remaining_indices
         sampling_budget = budget - learning.labelled_count
@@ -316,10 +319,11 @@ class LearnedStratifiedSampling:
 
         # Order the remaining objects by classifier score.
         overhead_started = time.perf_counter()
-        scores = learning.classifier.predict_scores(query.features(remaining))
-        order = np.argsort(scores, kind="stable")
-        ordered_objects = remaining[order]
-        sorted_scores = scores[order]
+        with obs.stage("lss.scoring"):
+            scores = learning.classifier.predict_scores(query.features(remaining))
+            order = np.argsort(scores, kind="stable")
+            ordered_objects = remaining[order]
+            sorted_scores = scores[order]
         sampling_overhead_seconds = time.perf_counter() - overhead_started
 
         return self._sampling_phase(
@@ -445,39 +449,49 @@ class LearnedStratifiedSampling:
         pilot_size = int(np.clip(pilot_size, 2, largest_pilot))
         second_stage_samples = sampling_budget - pilot_size
 
-        pilot_positions = np.sort(
-            sample_without_replacement(ordered_objects.size, pilot_size, seed=rng)
-        )
-        pilot_labels = query.evaluate(ordered_objects[pilot_positions])
-        pilot = PilotSample(pilot_positions, pilot_labels, ordered_objects.size)
+        with obs.stage("lss.pilot"):
+            pilot_positions = np.sort(
+                sample_without_replacement(ordered_objects.size, pilot_size, seed=rng)
+            )
+            pilot_labels = query.evaluate(ordered_objects[pilot_positions])
+            pilot = PilotSample(pilot_positions, pilot_labels, ordered_objects.size)
 
         # Sample design: stratification + allocation.
         design_started = time.perf_counter()
-        design = self._design_with_fallback(pilot, sorted_scores, max(second_stage_samples, 1))
-        min_per_stratum = max(1, min(5, second_stage_samples // max(design.num_strata, 1)))
-        stratified = StratifiedSampling(
-            allocation=self.allocation,
-            confidence=self.confidence,
-            min_per_stratum=min_per_stratum,
-        )
-        partition = StrataPartition(
-            [ordered_objects[start:end] for start, end in design.stratum_slices()]
-        )
-        if self.allocation_smoothing:
-            pilot_positives = np.array(
-                [
-                    float(pilot_labels[(pilot_positions >= start) & (pilot_positions < end)].sum())
-                    for start, end in design.stratum_slices()
-                ]
+        with obs.stage("lss.design", optimizer=self.optimizer):
+            design = self._design_with_fallback(
+                pilot, sorted_scores, max(second_stage_samples, 1)
             )
-            allocation_stds = smoothed_bernoulli_std(pilot_positives, design.pilot_counts)
-        else:
-            allocation_stds = np.sqrt(design.stratum_variances)
-        allocation = stratified.allocate(
-            partition,
-            second_stage_samples,
-            stratum_stds=allocation_stds,
-        )
+            min_per_stratum = max(
+                1, min(5, second_stage_samples // max(design.num_strata, 1))
+            )
+            stratified = StratifiedSampling(
+                allocation=self.allocation,
+                confidence=self.confidence,
+                min_per_stratum=min_per_stratum,
+            )
+            partition = StrataPartition(
+                [ordered_objects[start:end] for start, end in design.stratum_slices()]
+            )
+            if self.allocation_smoothing:
+                pilot_positives = np.array(
+                    [
+                        float(
+                            pilot_labels[
+                                (pilot_positions >= start) & (pilot_positions < end)
+                            ].sum()
+                        )
+                        for start, end in design.stratum_slices()
+                    ]
+                )
+                allocation_stds = smoothed_bernoulli_std(pilot_positives, design.pilot_counts)
+            else:
+                allocation_stds = np.sqrt(design.stratum_variances)
+            allocation = stratified.allocate(
+                partition,
+                second_stage_samples,
+                stratum_stds=allocation_stds,
+            )
         design_seconds = time.perf_counter() - design_started
 
         # Stage II: draw the allotted samples, excluding pilot objects.  Only
@@ -487,35 +501,36 @@ class LearnedStratifiedSampling:
         # visibly by making "all-negative" strata look exactly empty).
         stratum_labels: list[np.ndarray] = []
         slices = design.stratum_slices()
-        overhead_started = time.perf_counter()
-        stage2_overhead = 0.0
-        for (start, end), allotted in zip(slices, allocation.counts):
-            in_stratum_mask = (pilot_positions >= start) & (pilot_positions < end)
-            pilot_in_stratum = pilot_labels[in_stratum_mask]
-            pilot_positions_in_stratum = pilot_positions[in_stratum_mask]
-            available = np.setdiff1d(
-                np.arange(start, end), pilot_positions_in_stratum, assume_unique=True
-            )
-            take = int(min(allotted, available.size))
-            if take > 0:
-                chosen_positions = sample_without_replacement(available, take, seed=rng)
-                stage2_overhead += time.perf_counter() - overhead_started
-                extra_labels = query.evaluate(ordered_objects[chosen_positions])
-                overhead_started = time.perf_counter()
-                stratum_labels.append(extra_labels)
-            else:
-                # Degenerate budget: no fresh samples fit in this stratum, so
-                # fall back to its pilot labels rather than treating it as
-                # unobserved.
-                stratum_labels.append(pilot_in_stratum)
-        stage2_overhead += time.perf_counter() - overhead_started
+        with obs.stage("lss.stage2"):
+            overhead_started = time.perf_counter()
+            stage2_overhead = 0.0
+            for (start, end), allotted in zip(slices, allocation.counts):
+                in_stratum_mask = (pilot_positions >= start) & (pilot_positions < end)
+                pilot_in_stratum = pilot_labels[in_stratum_mask]
+                pilot_positions_in_stratum = pilot_positions[in_stratum_mask]
+                available = np.setdiff1d(
+                    np.arange(start, end), pilot_positions_in_stratum, assume_unique=True
+                )
+                take = int(min(allotted, available.size))
+                if take > 0:
+                    chosen_positions = sample_without_replacement(available, take, seed=rng)
+                    stage2_overhead += time.perf_counter() - overhead_started
+                    extra_labels = query.evaluate(ordered_objects[chosen_positions])
+                    overhead_started = time.perf_counter()
+                    stratum_labels.append(extra_labels)
+                else:
+                    # Degenerate budget: no fresh samples fit in this stratum, so
+                    # fall back to its pilot labels rather than treating it as
+                    # unobserved.
+                    stratum_labels.append(pilot_in_stratum)
+            stage2_overhead += time.perf_counter() - overhead_started
 
-        estimate = stratified.estimate_from_samples(
-            partition,
-            stratum_labels,
-            predicate_evaluations=query.evaluations - evaluations_before,
-            method=self.method_name,
-        )
+            estimate = stratified.estimate_from_samples(
+                partition,
+                stratum_labels,
+                predicate_evaluations=query.evaluations - evaluations_before,
+                method=self.method_name,
+            )
 
         predicate_seconds = query.evaluation_seconds - predicate_seconds_before
         timings = LSSPhaseTimings(

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 from repro.core.estimate import CountEstimate
 from repro.core.learning_phase import run_learning_phase
 from repro.learning.base import Classifier
+from repro.obs import trace as obs
 from repro.query.counting import CountingQuery
 from repro.sampling.rng import SeedLike, resolve_rng
 from repro.sampling.weighted import WeightedSampling
@@ -86,14 +87,15 @@ class LearnedWeightedSampling:
 
         learning_budget = max(int(round(self.learning_fraction * budget)), 2)
         learning_budget = min(learning_budget, budget - 2)
-        learning = run_learning_phase(
-            query,
-            learning_budget,
-            classifier=self.classifier,
-            active_learning_rounds=self.active_learning_rounds,
-            active_learning_fraction=self.active_learning_fraction,
-            seed=rng,
-        )
+        with obs.stage("lws.learning"):
+            learning = run_learning_phase(
+                query,
+                learning_budget,
+                classifier=self.classifier,
+                active_learning_rounds=self.active_learning_rounds,
+                active_learning_fraction=self.active_learning_fraction,
+                seed=rng,
+            )
 
         remaining = learning.remaining_indices
         sampling_budget = budget - learning.labelled_count
@@ -110,18 +112,20 @@ class LearnedWeightedSampling:
             )
 
         overhead_started = time.perf_counter()
-        scores = learning.classifier.predict_scores(query.features(remaining))
+        with obs.stage("lws.scoring"):
+            scores = learning.classifier.predict_scores(query.features(remaining))
         overhead_seconds = time.perf_counter() - overhead_started
 
         sampler = WeightedSampling(floor=self.score_floor, confidence=self.confidence)
-        estimate = sampler.estimate(
-            remaining,
-            scores,
-            query.evaluate,
-            sample_size=min(sampling_budget, remaining.size),
-            seed=rng,
-            method=self.method_name,
-        )
+        with obs.stage("lws.sampling"):
+            estimate = sampler.estimate(
+                remaining,
+                scores,
+                query.evaluate,
+                sample_size=min(sampling_budget, remaining.size),
+                seed=rng,
+                method=self.method_name,
+            )
 
         details = dict(estimate.details)
         details.update(
@@ -182,14 +186,15 @@ class LearnedWeightedSampling:
             )
 
         sampler = WeightedSampling(floor=self.score_floor, confidence=self.confidence)
-        estimate = sampler.estimate(
-            remaining,
-            learned.scores,
-            query.evaluate,
-            sample_size=min(int(budget), remaining.size),
-            seed=rng,
-            method=self.method_name,
-        )
+        with obs.stage("lws.sampling"):
+            estimate = sampler.estimate(
+                remaining,
+                learned.scores,
+                query.evaluate,
+                sample_size=min(int(budget), remaining.size),
+                seed=rng,
+                method=self.method_name,
+            )
 
         details = dict(estimate.details)
         details.update(

@@ -34,12 +34,15 @@ from __future__ import annotations
 import atexit
 import math
 import multiprocessing
+import os
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.parallel.engine import available_workers, resolve_worker_count
 from repro.parallel.methods import MethodSpec
 from repro.parallel.shm import (
@@ -128,18 +131,54 @@ def _warm_worker_init(spec: WorkloadSpec, manifest: PageManifest) -> None:
     _WORKER_STATE["attached"] = attached
 
 
+@dataclass
+class ObsChunkResult:
+    """Chunk results plus the worker's observability payload.
+
+    Shipped instead of the bare result list when the parent runs with
+    observability enabled: the worker snapshots its (freshly reset) metrics
+    registry so the parent can merge per-worker counters/histograms, and
+    reports its own execution wall-clock so queue wait can be derived from
+    the round-trip time.  Results themselves are byte-identical either way.
+    """
+
+    results: list
+    metrics: dict
+    exec_seconds: float
+    worker_pid: int
+
+
 def _warm_execute_chunk(
-    method_spec: MethodSpec, tasks: tuple[TrialTask, ...], result_mode: str
-) -> list[TrialResult] | list[TrialFingerprint]:
+    method_spec: MethodSpec,
+    tasks: tuple[TrialTask, ...],
+    result_mode: str,
+    ship_obs: bool = False,
+) -> "list[TrialResult] | list[TrialFingerprint] | ObsChunkResult":
     workload = _WORKER_STATE.get("workload")
     if workload is None:  # pragma: no cover - initializer contract violation
         raise RuntimeError("warm worker has no resolved workload; initializer did not run")
-    return execute_trials(workload, method_spec, tasks, result_mode=result_mode)
+    if not ship_obs:
+        return execute_trials(workload, method_spec, tasks, result_mode=result_mode)
+    # The parent has observability on; mirror it for this chunk so the
+    # worker-side instrumentation (stage spans, oracle accounting) records
+    # into the worker's registry, then ship the delta back with the results.
+    was_enabled = obs.set_enabled(True)
+    registry = obs.registry()
+    registry.reset()
+    started = time.perf_counter()
+    try:
+        results = execute_trials(workload, method_spec, tasks, result_mode=result_mode)
+    finally:
+        obs.set_enabled(was_enabled)
+    return ObsChunkResult(
+        results=results,
+        metrics=registry.snapshot(),
+        exec_seconds=time.perf_counter() - started,
+        worker_pid=os.getpid(),
+    )
 
 
 def _ping(delay: float) -> int:
-    import os
-
     time.sleep(delay)
     return os.getpid()
 
@@ -253,20 +292,65 @@ class WarmPool:
             raise ValueError(f"chunk_size must be positive, got {size}")
         executor = self._require_executor()
         chunks = [tasks[start : start + size] for start in range(0, len(tasks), size)]
+        ship_obs = obs.enabled()
+        completed_at: dict = {}
+
+        def _mark_done(done_future) -> None:
+            completed_at[done_future] = time.perf_counter()
+
         try:
-            futures = [
-                executor.submit(_warm_execute_chunk, method_spec, chunk, result_mode)
-                for chunk in chunks
-            ]
+            futures = []
+            submitted_at: dict = {}
+            for chunk in chunks:
+                future = executor.submit(
+                    _warm_execute_chunk, method_spec, chunk, result_mode, ship_obs
+                )
+                if ship_obs:
+                    submitted_at[future] = time.perf_counter()
+                    future.add_done_callback(_mark_done)
+                futures.append(future)
             results: list = []
-            for future in futures:
-                results.extend(future.result())
+            for future, chunk in zip(futures, chunks):
+                payload = future.result()
+                if ship_obs:
+                    results.extend(payload.results)
+                    self._record_chunk_metrics(
+                        payload,
+                        len(chunk),
+                        completed_at.get(future, time.perf_counter())
+                        - submitted_at[future],
+                    )
+                else:
+                    results.extend(payload)
         except BrokenProcessPool:
             # A dead worker (OOM kill, crash) would otherwise leak the
             # published segments until atexit; fail closed instead.
             self.close()
             raise
         return results
+
+    def _record_chunk_metrics(
+        self, payload: ObsChunkResult, chunk_trials: int, round_trip_seconds: float
+    ) -> None:
+        """Fold a worker's shipped registry in and derive dispatch metrics.
+
+        Queue wait approximates time the chunk spent outside `execute_trials`
+        — pickling, the executor's call queue, result transfer — as the
+        round trip minus the worker-reported execution time.
+        """
+        registry = obs.registry()
+        registry.merge(payload.metrics)
+        registry.inc(obs.POOL_CHUNKS, worker_pid=payload.worker_pid)
+        registry.observe(
+            obs.POOL_CHUNK_TRIALS,
+            float(chunk_trials),
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+        )
+        registry.observe(obs.POOL_DISPATCH_SECONDS, round_trip_seconds)
+        registry.observe(
+            obs.POOL_QUEUE_WAIT_SECONDS,
+            max(0.0, round_trip_seconds - payload.exec_seconds),
+        )
 
     def diagnostics(self) -> dict[str, object]:
         """Pool configuration and hardware context, for benchmark documents."""

@@ -32,6 +32,7 @@ from __future__ import annotations
 import functools
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.estimate import CountEstimate
 from repro.parallel.engine import ExecutionEngine, resolve_worker_count
 from repro.parallel.methods import MethodSpec
@@ -122,16 +123,33 @@ class ParallelTrialRunner:
             # Zero pool overhead; also prime the per-process cache so any
             # nested cold-path helper resolves to this exact workload.
             prime_workload_cache(self.workload_spec, workload)
-            return execute_trials(workload, method_spec, tuple(tasks), result_mode=result_mode)
+            with obs.span(
+                "parallel.serial", method=method_spec.method, tasks=len(tasks)
+            ):
+                return execute_trials(
+                    workload, method_spec, tuple(tasks), result_mode=result_mode
+                )
         if self.dispatch == "warm":
             pool = self.pool
             if pool is None:
                 pool = shared_pool(workload, workers, self.start_method)
-            results = pool.run(
-                method_spec, tasks, result_mode=result_mode, chunk_size=self.chunk_size
-            )
+            with obs.span(
+                "parallel.warm",
+                method=method_spec.method,
+                tasks=len(tasks),
+                workers=workers,
+            ):
+                results = pool.run(
+                    method_spec, tasks, result_mode=result_mode, chunk_size=self.chunk_size
+                )
         else:
-            results = self._run_cold(method_spec, tasks, workers, result_mode)
+            with obs.span(
+                "parallel.cold",
+                method=method_spec.method,
+                tasks=len(tasks),
+                workers=workers,
+            ):
+                results = self._run_cold(method_spec, tasks, workers, result_mode)
         return sorted(results, key=lambda result: result.trial_index)
 
     def _run_cold(

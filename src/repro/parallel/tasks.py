@@ -12,10 +12,12 @@ trials and return compact :class:`TrialResult` records for the reduce step.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.estimate import CountEstimate
 from repro.parallel.fingerprint import estimate_digest
 from repro.parallel.methods import MethodSpec
@@ -162,8 +164,23 @@ def run_single_trial(
     counters and serial runners stop mutating state another method's trials
     may observe.
     """
-    with workload.query.fresh_accounting():
-        return method_spec.build_trial_function()(workload, task.seed.resolve(), task.budget)
+    if not obs.enabled():
+        with workload.query.fresh_accounting():
+            return method_spec.build_trial_function()(workload, task.seed.resolve(), task.budget)
+    # Instrumented path: a root span per trial plus the per-method duration
+    # histogram.  Timing only — the trial body is identical to the fast path.
+    started = time.perf_counter()
+    with obs.span("trial", method=method_spec.method, trial=task.trial_index):
+        with workload.query.fresh_accounting():
+            estimate = method_spec.build_trial_function()(
+                workload, task.seed.resolve(), task.budget
+            )
+    registry = obs.registry()
+    registry.inc(obs.TRIALS_TOTAL, method=method_spec.method)
+    registry.observe(
+        obs.TRIAL_SECONDS, time.perf_counter() - started, method=method_spec.method
+    )
+    return estimate
 
 
 def execute_trials(

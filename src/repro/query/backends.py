@@ -47,6 +47,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.query.predicates import NeighborCountPredicate, Predicate, SkybandPredicate
 from repro.query.sql import quote_identifier, table_to_sqlite
 from repro.query.table import Table
@@ -114,6 +115,12 @@ class QueryBackend(ABC):
     def close(self) -> None:
         """Release backend resources (connections, buffers); idempotent."""
 
+    # -- observability --------------------------------------------------------
+    def _record_scan(self, rows: int) -> None:
+        """Charge rows touched to the scan counter (only when obs is enabled)."""
+        if obs.enabled():
+            obs.record_rows_scanned(int(rows), backend=self.spec)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return f"{type(self).__name__}(spec={self.spec!r}, objects={self.num_objects})"
 
@@ -132,9 +139,11 @@ class NumpyBackend(QueryBackend):
 
     def evaluate(self, indices: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)
+        self._record_scan(indices.size)
         return np.asarray(self.predicate.evaluate_batch(self.table, indices), dtype=np.float64)
 
     def evaluate_all(self) -> np.ndarray:
+        self._record_scan(self.num_objects)
         return np.asarray(self.predicate.evaluate_all(self.table), dtype=np.float64)
 
 
@@ -173,6 +182,7 @@ class ChunkedBackend(QueryBackend):
         indices = np.asarray(indices, dtype=np.int64)
         if indices.size == 0:
             return np.empty(0, dtype=np.float64)
+        self._record_scan(indices.size)
         parts = [
             np.asarray(self.predicate.evaluate_batch(self.table, block), dtype=np.float64)
             for block in self._blocks(indices)
@@ -338,9 +348,13 @@ class SqliteBackend(QueryBackend):
             raise IndexError(f"object indices {bad} out of range for {self.num_objects} objects")
         connection = self._require_connection()
         unique = np.unique(indices)
+        self._record_scan(unique.size)
+        record_roundtrips = obs.enabled()
         labels_by_index: dict[int, float] = {}
         for start in range(0, unique.size, _SQL_BATCH_ROWS):
             batch = unique[start : start + _SQL_BATCH_ROWS]
+            if record_roundtrips:
+                obs.registry().inc(obs.SQL_ROUNDTRIPS, backend=self.spec)
             placeholders = ", ".join("?" for _ in range(batch.size))
             sql = (
                 f"SELECT o1.rowidx, {self._plan.label_expression} "
@@ -357,6 +371,9 @@ class SqliteBackend(QueryBackend):
         if self._plan is None:
             return np.asarray(self.predicate.evaluate_all(self.table), dtype=np.float64)
         connection = self._require_connection()
+        self._record_scan(self.num_objects)
+        if obs.enabled():
+            obs.registry().inc(obs.SQL_ROUNDTRIPS, backend=self.spec)
         sql = (
             f"SELECT {self._plan.label_expression} "
             f"FROM {self._quoted_name} o1 ORDER BY o1.rowidx"

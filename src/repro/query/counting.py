@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.query.predicates import Predicate
 from repro.query.table import Table
 
@@ -228,6 +229,8 @@ class CountingQuery:
             labels = np.asarray(self.backend.evaluate(indices), dtype=np.float64)
         self._evaluations += int(indices.size)
         self._evaluation_seconds += time.perf_counter() - started
+        if obs.enabled():
+            obs.record_oracle_calls(int(indices.size))
         return labels
 
     def evaluate_batch(

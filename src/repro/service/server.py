@@ -25,9 +25,12 @@ import argparse
 import asyncio
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
+from repro import obs
+from repro.obs.export import prometheus_text
 from repro.service.schema import (
     RequestError,
     estimate_payload,
@@ -45,8 +48,24 @@ def _json_bytes(payload: Any) -> bytes:
     return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
 
 
+class _TextResponse:
+    """A non-JSON payload (``/metrics``): pre-encoded body + content type."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, text: str, content_type: str) -> None:
+        self.body = text.encode()
+        self.content_type = content_type
+
+
 class EstimateServer:
-    """One session exposed over HTTP (``/estimate``, ``/sweep``, ``/healthz``, ``/stats``)."""
+    """One session exposed over HTTP.
+
+    Routes: ``POST /estimate``, ``POST /sweep`` (thread pool), and inline
+    ``GET /healthz``, ``GET /stats``, ``GET /metrics`` (Prometheus text
+    exposition combining the gated global registry with the session's
+    always-on stats registry).
+    """
 
     def __init__(
         self,
@@ -102,11 +121,16 @@ class EstimateServer:
             return
         except Exception as exc:  # pragma: no cover - defensive catch-all
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        body = _json_bytes(payload)
+        if isinstance(payload, _TextResponse):
+            body = payload.body
+            content_type = payload.content_type
+        else:
+            body = _json_bytes(payload)
+            content_type = "application/json"
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error"}
         writer.write(
             f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n".encode() + body
         )
@@ -142,6 +166,11 @@ class EstimateServer:
             return 200, {"status": "ok"}
         if route == ("GET", "/stats"):
             return 200, self.session.stats_dict()
+        if route == ("GET", "/metrics"):
+            # Inline like /stats: the exposition is a pure read of the two
+            # registries, cheap enough for the event loop.
+            text = prometheus_text(obs.registry(), self.session.stats.registry)
+            return 200, _TextResponse(text, "text/plain; version=0.0.4")
         if route == ("POST", "/estimate"):
             return 200, await self._run(self._estimate, body)
         if route == ("POST", "/sweep"):
@@ -161,11 +190,28 @@ class EstimateServer:
 
     def _estimate(self, body: bytes) -> dict:
         kwargs = parse_estimate_request(self._body_json(body))
-        return estimate_payload(self.session.estimate(**kwargs))
+        # The request span opens here, on the executor thread, so the
+        # estimator stage spans nest under it (contextvars do not cross
+        # run_in_executor).
+        started = time.perf_counter()
+        with obs.span("http.estimate", route="/estimate"):
+            payload = estimate_payload(self.session.estimate(**kwargs))
+        if obs.enabled():
+            obs.registry().observe(
+                obs.HTTP_REQUEST_SECONDS, time.perf_counter() - started, route="/estimate"
+            )
+        return payload
 
     def _sweep(self, body: bytes) -> dict:
         kwargs = parse_sweep_request(self._body_json(body))
-        return sweep_payload(self.session.sweep(**kwargs))
+        started = time.perf_counter()
+        with obs.span("http.sweep", route="/sweep"):
+            payload = sweep_payload(self.session.sweep(**kwargs))
+        if obs.enabled():
+            obs.registry().observe(
+                obs.HTTP_REQUEST_SECONDS, time.perf_counter() - started, route="/sweep"
+            )
+        return payload
 
 
 class ServerThread:
@@ -255,6 +301,14 @@ def request_json(
     except urllib.error.HTTPError as exc:
         detail = json.loads(exc.read() or b"{}")
         raise RuntimeError(f"{path} -> {exc.code}: {detail.get('error', detail)}") from exc
+
+
+def request_text(url: str, path: str, timeout: float = 60.0) -> str:
+    """GET a text payload (``/metrics``) from a running server."""
+    import urllib.request
+
+    with urllib.request.urlopen(url.rstrip("/") + path, timeout=timeout) as response:
+        return response.read().decode()
 
 
 def main(argv: "list[str] | None" = None) -> int:

@@ -30,6 +30,7 @@ from typing import Any, Sequence
 from repro.core.estimate import CountEstimate
 from repro.core.pipeline import LearnToSampleResult
 from repro.core.scores import LearnedScoresSpec
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.fingerprint import estimate_fingerprint, estimates_fingerprint
 from repro.parallel.methods import MethodSpec
 from repro.parallel.runner import ParallelTrialRunner
@@ -38,6 +39,7 @@ from repro.query.counting import CountingQuery
 from repro.sampling.rng import SeedLike, spawn_seed_descriptors
 from repro.service.sweep import (
     ScoredMethodSpec,
+    default_design_cache,
     default_scores_cache,
     sweep_point_seed,
 )
@@ -50,23 +52,55 @@ DATASET_NAMES = ("neighbors", "sports")
 DEFAULT_MAX_RESIDENT = 4
 
 
-@dataclass
-class SessionStats:
-    """Counters a session accumulates across requests (``GET /stats``)."""
+#: The counters a session accumulates across requests, in ``/stats`` order.
+_STAT_FIELDS = (
+    "requests",
+    "estimates_served",
+    "sweep_points_served",
+    "workload_hits",
+    "workload_misses",
+    "score_cache_hits",
+    "learning_runs",
+    "oracle_calls",
+    "oracle_calls_saved",
+    "evictions",
+)
 
-    requests: int = 0
-    estimates_served: int = 0
-    sweep_points_served: int = 0
-    workload_hits: int = 0
-    workload_misses: int = 0
-    score_cache_hits: int = 0
-    learning_runs: int = 0
-    oracle_calls: int = 0
-    oracle_calls_saved: int = 0
-    evictions: int = 0
+
+class SessionStats:
+    """Counters a session accumulates across requests (``GET /stats``).
+
+    Rebuilt on the observability metrics registry: each counter is a
+    ``repro_session_<name>_total`` series on a per-session, **always-on**
+    :class:`~repro.obs.metrics.MetricsRegistry` (``/stats`` must report real
+    numbers whether or not the gated global instrumentation is enabled).
+    Attribute reads/writes keep working (``stats.requests += 1``) so call
+    sites and the ``as_dict`` wire shape are unchanged; the same registry
+    additionally feeds the ``GET /metrics`` exposition.
+    """
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        object.__setattr__(self, "registry", registry or MetricsRegistry())
+
+    @staticmethod
+    def _metric(name: str) -> str:
+        return f"repro_session_{name}_total"
+
+    def __getattr__(self, name: str) -> int:
+        if name in _STAT_FIELDS:
+            return int(self.registry.counter_value(self._metric(name)))
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if name in _STAT_FIELDS:
+            self.registry.set_counter(self._metric(name), float(value))
+            return
+        object.__setattr__(self, name, value)
 
     def as_dict(self) -> dict:
-        return dict(self.__dict__)
+        return {name: getattr(self, name) for name in _STAT_FIELDS}
 
 
 @dataclass
@@ -622,6 +656,9 @@ class Session:
         payload = self.stats.as_dict()
         payload["resident_workloads"] = self.resident_workloads
         payload["score_cache_entries"] = len(default_scores_cache)
+        payload["design_cache_entries"] = len(default_design_cache)
+        payload["design_cache_hits"] = default_design_cache.hits
+        payload["design_cache_misses"] = default_design_cache.misses
         return payload
 
     def close(self) -> None:

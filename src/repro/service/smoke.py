@@ -9,6 +9,12 @@ asyncio server, the JSON schema and the digest plumbing:
    must be byte-identical to its serial score-reuse replay;
 3. ``GET /stats`` — counters must reflect the two requests.
 
+With ``--trace-out PATH`` the run additionally enables the ``repro.obs``
+subsystem, checks ``GET /metrics`` serves a Prometheus exposition, and dumps
+the collected span trees + metrics as JSON — the fast CI tier uploads that
+file as a build artifact.  The verified fingerprints are the same either
+way: observability never changes a byte.
+
 Exit code 0 on success, 1 with a diagnostic on any mismatch — the fast CI
 tier runs ``python -m repro.service.smoke``.
 """
@@ -18,11 +24,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.core.scores import LearnedScoresSpec
 from repro.parallel.fingerprint import estimates_fingerprint
 from repro.parallel.tasks import TrialTask, execute_trials
 from repro.sampling.rng import spawn_seed_descriptors
-from repro.service.server import ServerThread, request_json
+from repro.service.server import ServerThread, request_json, request_text
 from repro.service.sweep import ScoredMethodSpec, sweep_point_seed
 from repro.workloads.queries import WorkloadSpec
 
@@ -46,12 +53,16 @@ def _serial_fingerprint(spec: WorkloadSpec, method_spec, seed, budget: int) -> s
     return estimates_fingerprint(record.to_estimate() for record in records)
 
 
-def run_smoke(verbose: bool = True) -> int:
+def run_smoke(verbose: bool = True, trace_out: "str | None" = None) -> int:
     def note(message: str) -> None:
         if verbose:
             print(f"[smoke] {message}")
 
     failures: list[str] = []
+    was_enabled = obs.enabled()
+    if trace_out:
+        obs.set_enabled(True)
+        obs.reset()
     anchor_spec = WorkloadSpec(dataset="neighbors", level="S", num_rows=NUM_ROWS, seed=TABLE_SEED)
     with ServerThread(source=anchor_spec) as server:
         note(f"server up at {server.url}")
@@ -128,6 +139,22 @@ def run_smoke(verbose: bool = True) -> int:
         if stats["learning_runs"] != 1:
             failures.append(f"stats report {stats['learning_runs']} learning runs, wanted 1")
 
+        if trace_out:
+            # Request 4 (obs runs only): /metrics must expose both the stage
+            # histograms collected above and the session counters.
+            exposition = request_text(server.url, "/metrics")
+            for needle in ("repro_stage_seconds", "repro_session_estimates_served_total"):
+                if needle not in exposition:
+                    failures.append(f"/metrics exposition is missing {needle}")
+            note(f"/metrics served {len(exposition.splitlines())} lines")
+
+    if trace_out:
+        from repro.obs.export import dump_json
+
+        dump_json(trace_out, obs.registry())
+        note(f"trace + metrics dumped to {trace_out}")
+        obs.set_enabled(was_enabled)
+
     for failure in failures:
         print(f"[smoke] FAIL: {failure}", file=sys.stderr)
     note("all three requests verified" if not failures else f"{len(failures)} failure(s)")
@@ -137,8 +164,14 @@ def run_smoke(verbose: bool = True) -> int:
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quiet", action="store_true", help="suppress progress notes")
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="enable repro.obs for the run and dump the JSON trace+metrics here",
+    )
     options = parser.parse_args(argv)
-    return run_smoke(verbose=not options.quiet)
+    return run_smoke(verbose=not options.quiet, trace_out=options.trace_out)
 
 
 if __name__ == "__main__":

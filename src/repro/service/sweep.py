@@ -22,16 +22,20 @@ sweep point re-stratifies from them.  The pieces here make that reuse
 
 from __future__ import annotations
 
+import hashlib
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.core.estimate import CountEstimate
 from repro.core.lss import LearnedStratifiedSampling
 from repro.core.lws import LearnedWeightedSampling
 from repro.core.scores import LearnedScores, LearnedScoresSpec, learn_scores
+from repro.core.stratification import PilotSample, StratificationDesign
 from repro.workloads.queries import Workload, WorkloadSpec
 
 #: Methods that have a score-reuse sampling phase.
@@ -133,6 +137,145 @@ class LearnedScoresCache:
 default_scores_cache = LearnedScoresCache()
 
 
+class DesignCache:
+    """Bounded LRU of stratification designs, keyed by their exact inputs.
+
+    ROADMAP item 2: warm LSS requests are bound by the per-request pilot +
+    design optimisation (``dynpgm_design`` is most of the request), so cache
+    the :class:`~repro.core.stratification.StratificationDesign` the way
+    scores already are.  The design optimizers are deterministic functions of
+    their inputs (no RNG), so the key must cover *all* of them — the learned
+    score ordering (digest), the RNG-drawn pilot (positions + labels +
+    population), the second-stage budget, and every design knob.  A hit
+    therefore returns bytes the optimizer would have recomputed: caching
+    changes wall-clock, never estimates.
+    """
+
+    def __init__(self, limit: int = 512) -> None:
+        if limit < 1:
+            raise ValueError("limit must be at least 1")
+        self.limit = limit
+        self._entries: "OrderedDict[bytes, StratificationDesign]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(
+        scores_digest: bytes,
+        pilot: PilotSample,
+        second_stage_samples: int,
+        num_strata: int,
+        optimizer: str,
+        allocation: str,
+        min_pilot_per_stratum: int,
+        min_stratum_size: "int | None",
+        optimizer_options: dict,
+    ) -> bytes:
+        hasher = hashlib.sha256()
+        hasher.update(scores_digest)
+        hasher.update(np.ascontiguousarray(pilot.positions).tobytes())
+        hasher.update(np.ascontiguousarray(pilot.labels).tobytes())
+        hasher.update(
+            repr(
+                (
+                    int(pilot.population_size),
+                    int(second_stage_samples),
+                    int(num_strata),
+                    optimizer,
+                    allocation,
+                    int(min_pilot_per_stratum),
+                    min_stratum_size,
+                    sorted(optimizer_options.items()),
+                )
+            ).encode()
+        )
+        return hasher.digest()
+
+    def get(self, key: bytes) -> "StratificationDesign | None":
+        with self._lock:
+            design = self._entries.get(key)
+            if design is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+        if obs.enabled():
+            obs.registry().inc(
+                obs.DESIGN_CACHE_REQUESTS,
+                result="hit" if design is not None else "miss",
+            )
+        return design
+
+    def put(self, key: bytes, design: StratificationDesign) -> None:
+        with self._lock:
+            self._entries[key] = design
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: The process-wide design cache (ScoredMethodSpec LSS trials go through it).
+default_design_cache = DesignCache()
+
+
+def _scores_digest(learned: LearnedScores) -> bytes:
+    """Content digest of a learned ordering, for design-cache keying."""
+    hasher = hashlib.sha256()
+    hasher.update(np.ascontiguousarray(learned.sorted_scores).tobytes())
+    hasher.update(np.ascontiguousarray(learned.ordered_objects).tobytes())
+    return hasher.digest()
+
+
+class _DesignCachingLSS(LearnedStratifiedSampling):
+    """LSS whose design step is memoised in the process-wide design cache.
+
+    Only the ``_design_with_fallback`` seam changes; the pilot draw, the
+    stage-II draws and the estimator arithmetic are inherited untouched, so
+    estimates are byte-identical with the cache cold, warm, or cleared
+    mid-sweep (pinned by ``tests/test_obs.py``).
+    """
+
+    def __init__(self, *, scores_digest: bytes, cache: DesignCache, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._scores_digest = scores_digest
+        self._cache = cache
+
+    def _design_with_fallback(
+        self,
+        pilot: PilotSample,
+        sorted_scores: np.ndarray,
+        second_stage_samples: int,
+    ) -> StratificationDesign:
+        key = self._cache.key(
+            self._scores_digest,
+            pilot,
+            second_stage_samples,
+            self.num_strata,
+            self.optimizer,
+            self.allocation,
+            self.min_pilot_per_stratum,
+            self.min_stratum_size,
+            self.optimizer_options,
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        design = super()._design_with_fallback(pilot, sorted_scores, second_stage_samples)
+        self._cache.put(key, design)
+        return design
+
+
 @dataclass(frozen=True)
 class ScoredMethodSpec:
     """One score-reuse estimator configuration, as plain picklable data.
@@ -173,8 +316,11 @@ class ScoredMethodSpec:
         ) -> CountEstimate:
             learned = default_scores_cache.resolve(spec.anchor, spec.scores)
             if spec.method == "lss":
-                estimator = LearnedStratifiedSampling(
-                    num_strata=spec.num_strata, optimizer=spec.optimizer
+                estimator = _DesignCachingLSS(
+                    scores_digest=_scores_digest(learned),
+                    cache=default_design_cache,
+                    num_strata=spec.num_strata,
+                    optimizer=spec.optimizer,
                 )
                 return estimator.estimate_from_scores(workload.query, learned, budget, seed=rng)
             return LearnedWeightedSampling().estimate_from_scores(

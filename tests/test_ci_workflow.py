@@ -76,6 +76,28 @@ class TestWorkflowStructure:
         )
         assert str(smoke_step.get("name", "")).lower() == "service smoke"
 
+    def test_fast_job_runs_obs_smoke(self, workflow):
+        # The observability smoke gate: the same smoke run with REPRO_OBS=1
+        # must serve byte-identical digests, check /metrics, and dump the
+        # span trees + metrics as a JSON artifact.
+        steps = workflow["jobs"]["fast"]["steps"]
+        obs_step = next(
+            s
+            for s in steps
+            if "repro.service.smoke" in str(s.get("run", ""))
+            and "REPRO_OBS=1" in str(s.get("run", ""))
+        )
+        run = " ".join(str(obs_step["run"]).split())
+        assert "--trace-out obs-trace.json" in run
+        uploads = [
+            s
+            for s in steps
+            if str(s.get("uses", "")).startswith("actions/upload-artifact")
+        ]
+        assert any(
+            "obs-trace.json" in str(s.get("with", {}).get("path", "")) for s in uploads
+        ), "obs trace artifact is not uploaded"
+
     def test_jobs_cache_generated_datasets(self, workflow):
         # Both tiers persist the generated seeded datasets between jobs,
         # keyed on the dataset modules' content hash.
@@ -126,6 +148,7 @@ class TestWorkflowStructure:
             s for s in steps if "benchmarks/run_parallel.py" in str(s.get("run", ""))
         )
         assert "--check-against BENCH_parallel.json" in " ".join(parallel_step["run"].split())
+        assert "--breakdown" in parallel_step["run"]
         uploads = [
             s
             for s in steps
@@ -145,6 +168,7 @@ class TestWorkflowStructure:
             s for s in steps if "benchmarks/run_service.py" in str(s.get("run", ""))
         )
         assert "--check-against BENCH_service.json" in " ".join(service_step["run"].split())
+        assert "--breakdown" in service_step["run"]
         uploads = [
             s
             for s in steps

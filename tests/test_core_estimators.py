@@ -7,7 +7,8 @@ from repro.core.estimate import CountEstimate
 from repro.core.learning_phase import run_learning_phase
 from repro.core.lss import LearnedStratifiedSampling, LSSPhaseTimings
 from repro.core.lws import LearnedWeightedSampling
-from repro.core.pipeline import METHODS, learn_to_sample
+import repro
+from repro.core.pipeline import METHODS
 from repro.learning.dummy import RandomScoreClassifier
 from repro.sampling.rng import spawn_seeds
 
@@ -171,25 +172,30 @@ class TestLearnedStratifiedSampling:
 
 
 class TestPipelineFacade:
+    @pytest.fixture(scope="class")
+    def facade(self):
+        with repro.session() as facade:
+            yield facade
+
     @pytest.mark.parametrize("method", METHODS)
-    def test_every_method_runs(self, threshold_query, method):
+    def test_every_method_runs(self, facade, threshold_query, method):
         threshold_query.reset_accounting()
-        result = learn_to_sample(threshold_query, budget=60, method=method, seed=0)
+        result = facade.estimate_query(threshold_query, budget=60, method=method, seed=0)
         assert result.method == method
         assert result.true_count == threshold_query.true_count()
         assert result.estimate.count >= 0
         assert result.budget == 60
 
-    def test_relative_error_property(self, threshold_query):
-        result = learn_to_sample(threshold_query, budget=80, method="srs", seed=1)
+    def test_relative_error_property(self, facade, threshold_query):
+        result = facade.estimate_query(threshold_query, budget=80, method="srs", seed=1)
         assert result.relative_error == pytest.approx(
             abs(result.error) / result.true_count
         )
 
-    def test_unknown_method_rejected(self, threshold_query):
+    def test_unknown_method_rejected(self, facade, threshold_query):
         with pytest.raises(ValueError):
-            learn_to_sample(threshold_query, 50, method="bogus")
+            facade.estimate_query(threshold_query, 50, method="bogus")
 
-    def test_invalid_budget_rejected(self, threshold_query):
+    def test_invalid_budget_rejected(self, facade, threshold_query):
         with pytest.raises(ValueError):
-            learn_to_sample(threshold_query, 0, method="srs")
+            facade.estimate_query(threshold_query, 0, method="srs")

@@ -10,9 +10,9 @@ accounting).
 import numpy as np
 import pytest
 
+import repro
 from repro.core.lss import LearnedStratifiedSampling
 from repro.core.lws import LearnedWeightedSampling
-from repro.core.pipeline import learn_to_sample
 from repro.sampling.rng import spawn_seeds
 from repro.sampling.srs import SimpleRandomSampling
 from repro.workloads.queries import build_neighbors_workload, build_sports_workload
@@ -28,20 +28,28 @@ def neighbors_workload():
     return build_neighbors_workload(level="S", num_rows=3000, seed=11)
 
 
+@pytest.fixture(scope="module")
+def facade():
+    # One lazily-constructed session per module: estimate_query dispatches
+    # caller-owned queries without making anything resident.
+    with repro.session() as facade:
+        yield facade
+
+
 class TestEndToEndEstimation:
     @pytest.mark.parametrize("method", ["srs", "ssp", "ssn", "lws", "lss", "qlcc", "qlac"])
-    def test_every_method_is_reasonable_on_sports(self, sports_workload, method):
+    def test_every_method_is_reasonable_on_sports(self, facade, sports_workload, method):
         budget = sports_workload.sample_size(0.05)
-        result = learn_to_sample(sports_workload.query, budget, method=method, seed=5)
+        result = facade.estimate_query(sports_workload.query, budget, method=method, seed=5)
         assert 0 <= result.estimate.count <= sports_workload.num_objects
         # A 5% sample on an easy workload should land within 75% of truth.
         assert result.relative_error < 0.75
 
-    def test_budget_accounting_across_methods(self, neighbors_workload):
+    def test_budget_accounting_across_methods(self, facade, neighbors_workload):
         budget = neighbors_workload.sample_size(0.04)
         for method in ["srs", "ssp", "lws", "lss"]:
             neighbors_workload.query.reset_accounting()
-            learn_to_sample(neighbors_workload.query, budget, method=method, seed=2)
+            facade.estimate_query(neighbors_workload.query, budget, method=method, seed=2)
             assert neighbors_workload.query.evaluations <= budget + 10
 
     def test_lss_interval_covers_truth_most_of_the_time(self, sports_workload):
