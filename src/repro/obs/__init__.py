@@ -21,14 +21,22 @@ from __future__ import annotations
 from repro.obs import export, metrics, trace
 from repro.obs.metrics import (
     BACKEND_ROWS_SCANNED,
+    CHUNK_RETRIES,
     DESIGN_CACHE_REQUESTS,
+    FAULTS_INJECTED,
     HTTP_REQUEST_SECONDS,
+    LOCK_RETRIES,
     ORACLE_CALLS,
+    ORACLE_RETRIES,
     POOL_CHUNK_TRIALS,
     POOL_CHUNKS,
     POOL_DISPATCH_SECONDS,
     POOL_QUEUE_WAIT_SECONDS,
+    POOL_REBUILDS,
     PREDICATE_BATCH_ROWS,
+    REQUEST_DEADLINES,
+    REQUESTS_SHED,
+    RETRY_BACKOFF_SECONDS,
     SQL_ROUNDTRIPS,
     STAGE_SECONDS,
     TRIAL_SECONDS,
@@ -50,15 +58,23 @@ from repro.obs.trace import (
 
 __all__ = [
     "BACKEND_ROWS_SCANNED",
+    "CHUNK_RETRIES",
     "DESIGN_CACHE_REQUESTS",
+    "FAULTS_INJECTED",
     "HTTP_REQUEST_SECONDS",
+    "LOCK_RETRIES",
     "MetricsRegistry",
     "ORACLE_CALLS",
+    "ORACLE_RETRIES",
     "POOL_CHUNKS",
     "POOL_CHUNK_TRIALS",
     "POOL_DISPATCH_SECONDS",
     "POOL_QUEUE_WAIT_SECONDS",
+    "POOL_REBUILDS",
     "PREDICATE_BATCH_ROWS",
+    "REQUESTS_SHED",
+    "REQUEST_DEADLINES",
+    "RETRY_BACKOFF_SECONDS",
     "SQL_ROUNDTRIPS",
     "STAGE_SECONDS",
     "Span",

@@ -52,6 +52,14 @@ POOL_DISPATCH_SECONDS = "repro_pool_dispatch_seconds"
 POOL_QUEUE_WAIT_SECONDS = "repro_pool_queue_wait_seconds"
 HTTP_REQUEST_SECONDS = "repro_http_request_seconds"
 DESIGN_CACHE_REQUESTS = "repro_design_cache_requests_total"
+FAULTS_INJECTED = "repro_faults_injected_total"
+CHUNK_RETRIES = "repro_chunk_retries_total"
+POOL_REBUILDS = "repro_pool_rebuilds_total"
+REQUESTS_SHED = "repro_requests_shed_total"
+REQUEST_DEADLINES = "repro_request_deadline_total"
+RETRY_BACKOFF_SECONDS = "repro_client_retry_backoff_seconds"
+LOCK_RETRIES = "repro_lock_retries_total"
+ORACLE_RETRIES = "repro_oracle_retries_total"
 
 
 def _label_key(labels: Mapping[str, object]) -> LabelKey:

@@ -47,6 +47,7 @@ from repro.parallel.fingerprint import (
 from repro.parallel.methods import METHODS, MethodSpec, classifier_factory
 from repro.parallel.pool import (
     METHOD_COST_HINTS,
+    ChunkRetryError,
     WarmPool,
     close_shared_pools,
     default_start_method,
@@ -57,24 +58,32 @@ from repro.parallel.runner import ParallelTrialRunner, run_trials_parallel
 from repro.parallel.shm import (
     PageManifest,
     attach_pages,
+    pages_alive,
     publish_arrays,
     publish_cached_dataset,
     publish_workload_pages,
     table_from_pages,
 )
 from repro.parallel.tasks import (
+    ChunkCorruptionError,
+    ChunkEnvelope,
     TrialFingerprint,
     TrialResult,
     TrialTask,
     clear_workload_cache,
     execute_trial_chunk,
     execute_trials,
+    open_chunk,
     prime_workload_cache,
     run_single_trial,
+    seal_chunk,
 )
 from repro.workloads.queries import WorkloadSpec
 
 __all__ = [
+    "ChunkCorruptionError",
+    "ChunkEnvelope",
+    "ChunkRetryError",
     "ExecutionEngine",
     "METHODS",
     "METHOD_COST_HINTS",
@@ -100,8 +109,11 @@ __all__ = [
     "execute_trial_chunk",
     "execute_trials",
     "fingerprints_digest",
+    "open_chunk",
+    "pages_alive",
     "predict_scores_chunked",
     "prime_workload_cache",
+    "seal_chunk",
     "publish_arrays",
     "publish_cached_dataset",
     "publish_workload_pages",

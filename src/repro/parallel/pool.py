@@ -38,6 +38,7 @@ import os
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Sequence
@@ -49,16 +50,22 @@ from repro.parallel.shm import (
     PageManifest,
     PublishedPages,
     attach_pages,
+    pages_alive,
     publish_workload_pages,
     table_from_pages,
 )
 from repro.parallel.tasks import (
+    ChunkCorruptionError,
+    ChunkEnvelope,
     TrialFingerprint,
     TrialResult,
     TrialTask,
     execute_trials,
+    open_chunk,
     prime_workload_cache,
+    seal_chunk,
 )
+from repro.resilience.faults import ChunkFault, TransientFaultError, active_plan
 from repro.workloads.queries import Workload, WorkloadSpec
 
 #: Relative cost of one trial per method, in srs units.  These only steer
@@ -153,29 +160,57 @@ def _warm_execute_chunk(
     tasks: tuple[TrialTask, ...],
     result_mode: str,
     ship_obs: bool = False,
-) -> "list[TrialResult] | list[TrialFingerprint] | ObsChunkResult":
+    fault: ChunkFault | None = None,
+) -> ChunkEnvelope:
+    """Worker entry point: run one chunk and ship it back in a sealed envelope.
+
+    ``fault`` is the parent-armed injection command for *this dispatch only*
+    (:meth:`repro.resilience.FaultPlan.arm_chunk`): the parent's fault
+    counters advance at submit time, so a re-dispatched chunk never carries
+    the fault that killed its first attempt — recovery cannot livelock.
+    """
+    if fault is not None:
+        if fault.kind == "kill":
+            # Simulate an OOM kill / crash: no exception, no cleanup — the
+            # executor discovers a dead worker and reports BrokenProcessPool.
+            os._exit(1)
+        if fault.kind == "flake":
+            raise TransientFaultError(f"injected chunk flake (pid {os.getpid()})")
+        if fault.kind == "hang":
+            # Hold the chunk past the parent's timeout; the rebuild path
+            # terminates this worker, so the sleep is an upper bound.
+            time.sleep(fault.seconds)
     workload = _WORKER_STATE.get("workload")
     if workload is None:  # pragma: no cover - initializer contract violation
         raise RuntimeError("warm worker has no resolved workload; initializer did not run")
     if not ship_obs:
-        return execute_trials(workload, method_spec, tasks, result_mode=result_mode)
-    # The parent has observability on; mirror it for this chunk so the
-    # worker-side instrumentation (stage spans, oracle accounting) records
-    # into the worker's registry, then ship the delta back with the results.
-    was_enabled = obs.set_enabled(True)
-    registry = obs.registry()
-    registry.reset()
-    started = time.perf_counter()
-    try:
-        results = execute_trials(workload, method_spec, tasks, result_mode=result_mode)
-    finally:
-        obs.set_enabled(was_enabled)
-    return ObsChunkResult(
-        results=results,
-        metrics=registry.snapshot(),
-        exec_seconds=time.perf_counter() - started,
-        worker_pid=os.getpid(),
-    )
+        payload: object = execute_trials(workload, method_spec, tasks, result_mode=result_mode)
+    else:
+        # The parent has observability on; mirror it for this chunk so the
+        # worker-side instrumentation (stage spans, oracle accounting) records
+        # into the worker's registry, then ship the delta back with the results.
+        was_enabled = obs.set_enabled(True)
+        registry = obs.registry()
+        registry.reset()
+        started = time.perf_counter()
+        try:
+            results = execute_trials(workload, method_spec, tasks, result_mode=result_mode)
+        finally:
+            obs.set_enabled(was_enabled)
+        payload = ObsChunkResult(
+            results=results,
+            metrics=registry.snapshot(),
+            exec_seconds=time.perf_counter() - started,
+            worker_pid=os.getpid(),
+        )
+    envelope = seal_chunk(payload)
+    if fault is not None and fault.kind == "corrupt":
+        # Flip one payload byte *after* sealing: the digest no longer
+        # matches, so the parent's open_chunk must reject the envelope.
+        data = bytearray(envelope.data)
+        data[len(data) // 2] ^= 0xFF
+        envelope = ChunkEnvelope(data=bytes(data), digest=envelope.digest)
+    return envelope
 
 
 def _ping(delay: float) -> int:
@@ -186,8 +221,17 @@ def _ping(delay: float) -> int:
 # -- parent side --------------------------------------------------------------
 
 
+class ChunkRetryError(RuntimeError):
+    """A chunk failed more attempts than the pool's retry budget allows.
+
+    Raised by :meth:`WarmPool.run` after ``1 + max_chunk_retries`` attempts
+    of the same chunk have been lost to worker deaths, timeouts, corruption
+    or transient faults; the pool closes itself first so nothing leaks.
+    """
+
+
 class WarmPool:
-    """A long-lived process pool bound to one workload's shared pages.
+    """A long-lived, self-healing process pool bound to one workload's pages.
 
     Args:
         workload: the built workload whose trials the pool will run; must
@@ -200,6 +244,14 @@ class WarmPool:
             + import cost at pool start instead of inheriting the parent.
         chunk_size: fixed trials per dispatched chunk; cost-aware sizing
             (:func:`dispatch_chunk_size`) when omitted.
+        chunk_timeout: seconds to wait for any one chunk before declaring
+            its worker hung and rebuilding the pool; ``None`` (default)
+            waits forever, matching the old behaviour.
+        max_chunk_retries: how many times a lost/failed chunk may be
+            re-dispatched before :class:`ChunkRetryError` (default 2, so
+            three attempts total).  Re-dispatch is byte-safe: every trial
+            draws only from its own seed descriptor, so a re-run chunk
+            reproduces its results exactly.
     """
 
     def __init__(
@@ -208,6 +260,8 @@ class WarmPool:
         workers: int,
         start_method: str | None = None,
         chunk_size: int | None = None,
+        chunk_timeout: float | None = None,
+        max_chunk_retries: int = 2,
     ) -> None:
         if workload.spec is None:
             raise ValueError(
@@ -217,17 +271,29 @@ class WarmPool:
         self.workers = resolve_worker_count(workers)
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError(f"chunk_timeout must be positive, got {chunk_timeout}")
+        if max_chunk_retries < 0:
+            raise ValueError(f"max_chunk_retries must be >= 0, got {max_chunk_retries}")
         self.spec = workload.spec
         self.chunk_size = chunk_size
+        self.chunk_timeout = chunk_timeout
+        self.max_chunk_retries = max_chunk_retries
+        self.rebuilds = 0
+        self.chunk_retries = 0
         self.start_method = start_method or default_start_method()
         self._pages: PublishedPages | None = publish_workload_pages(workload)
-        self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
+        self._executor: ProcessPoolExecutor | None = self._new_executor()
+        _OPEN_POOLS[id(self)] = self
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        assert self._pages is not None
+        return ProcessPoolExecutor(
             max_workers=self.workers,
             mp_context=multiprocessing.get_context(self.start_method),
             initializer=_warm_worker_init,
             initargs=(self.spec, self._pages.manifest),
         )
-        _OPEN_POOLS[id(self)] = self
 
     # -- lifecycle ----------------------------------------------------------
     @property
@@ -248,7 +314,12 @@ class WarmPool:
         return self
 
     def close(self) -> None:
-        """Shut workers down and unlink the shared pages (idempotent)."""
+        """Shut workers down and unlink the shared pages (idempotent).
+
+        Also evicts this pool from the process-wide :func:`shared_pool`
+        registry: a closed pool left registered would hand the next caller
+        a dead executor (the registry-leak bug this replaces).
+        """
         executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
@@ -256,6 +327,9 @@ class WarmPool:
         if pages is not None:
             pages.close()
         _OPEN_POOLS.pop(id(self), None)
+        for key, pool in list(_SHARED_POOLS.items()):
+            if pool is self:
+                _SHARED_POOLS.pop(key, None)
 
     def __enter__(self) -> "WarmPool":
         return self
@@ -267,6 +341,37 @@ class WarmPool:
         if self._executor is None:
             raise RuntimeError("WarmPool is closed")
         return self._executor
+
+    def _rebuild(self) -> None:
+        """Replace a broken/hung executor; the shared pages stay published.
+
+        Terminates whatever worker processes remain (a hung worker never
+        returns on its own), verifies the parent-owned segments are still
+        attachable, then boots a fresh executor over the *same* manifest —
+        new workers re-run the initializer and map the existing pages, so a
+        rebuild costs pool start-up, never a table republish.
+        """
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            processes = getattr(executor, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover - already-dead worker
+                    pass
+            executor.shutdown(wait=False, cancel_futures=True)
+        pages = self._pages
+        if pages is None or not pages_alive(pages.manifest):
+            raise RuntimeError("shared pages are gone; cannot rebuild the warm pool")
+        self.rebuilds += 1
+        if obs.enabled():
+            obs.registry().inc(obs.POOL_REBUILDS)
+        self._executor = self._new_executor()
+
+    def _note_chunk_retry(self, reason: str) -> None:
+        self.chunk_retries += 1
+        if obs.enabled():
+            obs.registry().inc(obs.CHUNK_RETRIES, reason=reason)
 
     # -- dispatch ------------------------------------------------------------
     def run(
@@ -281,6 +386,15 @@ class WarmPool:
         ``result_mode="fingerprints"`` makes workers buffer each trial down
         to its 32-byte digest — the verification path, where shipping whole
         result objects would be pure overhead.
+
+        Failure handling is self-healing and byte-safe: a chunk lost to a
+        dead worker (``BrokenProcessPool``), a hung worker (``chunk_timeout``
+        exceeded), a corrupted result envelope or an injected transient
+        fault is re-dispatched up to ``max_chunk_retries`` times — with a
+        pool rebuild first when the executor itself is gone.  Because each
+        trial draws only from its own seed descriptor, the recovered run's
+        results are hex-identical to a failure-free run (the chaos grid in
+        ``tests/test_resilience.py`` pins this).
         """
         tasks = tuple(tasks)
         if not tasks:
@@ -290,43 +404,105 @@ class WarmPool:
             size = dispatch_chunk_size(len(tasks), self.workers, method_cost_hint(method_spec))
         elif size <= 0:
             raise ValueError(f"chunk_size must be positive, got {size}")
-        executor = self._require_executor()
+        self._require_executor()
         chunks = [tasks[start : start + size] for start in range(0, len(tasks), size)]
         ship_obs = obs.enabled()
+        plan = active_plan()
         completed_at: dict = {}
 
         def _mark_done(done_future) -> None:
             completed_at[done_future] = time.perf_counter()
 
+        payloads: dict[int, object] = {}
+        attempts = [0] * len(chunks)
+        pending = list(range(len(chunks)))
         try:
-            futures = []
-            submitted_at: dict = {}
-            for chunk in chunks:
-                future = executor.submit(
-                    _warm_execute_chunk, method_spec, chunk, result_mode, ship_obs
-                )
-                if ship_obs:
-                    submitted_at[future] = time.perf_counter()
-                    future.add_done_callback(_mark_done)
-                futures.append(future)
-            results: list = []
-            for future, chunk in zip(futures, chunks):
-                payload = future.result()
-                if ship_obs:
-                    results.extend(payload.results)
-                    self._record_chunk_metrics(
-                        payload,
-                        len(chunk),
-                        completed_at.get(future, time.perf_counter())
-                        - submitted_at[future],
+            while pending:
+                executor = self._require_executor()
+                if self.chunk_timeout is not None:
+                    # Worker boot is not chunk work: under spawn (or after a
+                    # rebuild) process start-up can dwarf the chunk timeout,
+                    # and charging it to the first dispatches would burn the
+                    # retry budget on perfectly healthy workers.  One ping
+                    # per worker rides the same queue as real chunks, so
+                    # when they return the pool is genuinely up.
+                    for ping in [executor.submit(_ping, 0.0) for _ in range(self.workers)]:
+                        ping.result()
+                futures: dict[int, object] = {}
+                submitted_at: dict = {}
+                for index in pending:
+                    fault = plan.arm_chunk() if plan is not None else None
+                    attempts[index] += 1
+                    future = executor.submit(
+                        _warm_execute_chunk, method_spec, chunks[index], result_mode,
+                        ship_obs, fault,
                     )
-                else:
-                    results.extend(payload)
-        except BrokenProcessPool:
-            # A dead worker (OOM kill, crash) would otherwise leak the
-            # published segments until atexit; fail closed instead.
+                    if ship_obs:
+                        submitted_at[future] = time.perf_counter()
+                        future.add_done_callback(_mark_done)
+                    futures[index] = future
+
+                rebuild = False
+                still_pending: list[int] = []
+                for index in pending:
+                    future = futures[index]
+                    if rebuild:
+                        # The executor is already condemned; only harvest
+                        # chunks that finished cleanly before it broke.
+                        if not (future.done() and future.exception() is None):
+                            still_pending.append(index)
+                            continue
+                    try:
+                        envelope = future.result(timeout=None if rebuild else self.chunk_timeout)
+                        payload = open_chunk(envelope)
+                    except (ChunkCorruptionError, TransientFaultError) as exc:
+                        self._note_chunk_retry(type(exc).__name__)
+                        still_pending.append(index)
+                        continue
+                    except BrokenProcessPool:
+                        self._note_chunk_retry("BrokenProcessPool")
+                        rebuild = True
+                        still_pending.append(index)
+                        continue
+                    except (FuturesTimeout, TimeoutError):
+                        # A hung worker: nothing short of killing the
+                        # process unblocks it, so condemn the executor.
+                        self._note_chunk_retry("ChunkTimeout")
+                        rebuild = True
+                        still_pending.append(index)
+                        continue
+                    payloads[index] = payload
+                    if ship_obs:
+                        self._record_chunk_metrics(
+                            payload,
+                            len(chunks[index]),
+                            completed_at.get(future, time.perf_counter())
+                            - submitted_at[future],
+                        )
+
+                exhausted = [
+                    index
+                    for index in still_pending
+                    if attempts[index] > self.max_chunk_retries
+                ]
+                if exhausted:
+                    raise ChunkRetryError(
+                        f"chunk {exhausted[0]} failed {attempts[exhausted[0]]} attempts "
+                        f"(retry budget {self.max_chunk_retries}); giving up"
+                    )
+                if rebuild:
+                    self._rebuild()
+                pending = still_pending
+        except Exception:
+            # Fail closed on anything unrecoverable (retry budget exhausted,
+            # pages gone, non-retryable worker error): release workers and
+            # segments now rather than at atexit.
             self.close()
             raise
+        results: list = []
+        for index in range(len(chunks)):
+            payload = payloads[index]
+            results.extend(payload.results if ship_obs else payload)
         return results
 
     def _record_chunk_metrics(

@@ -249,6 +249,26 @@ def attach_pages(manifest: PageManifest) -> AttachedPages:
     return AttachedPages(manifest)
 
 
+def pages_alive(manifest: PageManifest) -> bool:
+    """Whether every segment in ``manifest`` can still be attached.
+
+    The pool-rebuild path checks this before recreating an executor over an
+    old manifest: the parent owns the segments, so they survive any number
+    of worker deaths, but a closed/unlinked manifest must fail loudly rather
+    than boot workers whose initializers would crash one by one.
+    """
+    for page in manifest.pages:
+        try:
+            segment = _attach_segment(page.segment)
+        except (FileNotFoundError, OSError):
+            return False
+        try:
+            segment.close()
+        except (OSError, BufferError):  # pragma: no cover - platform specific
+            pass
+    return True
+
+
 # -- workload pages -----------------------------------------------------------
 
 _COLUMN_SEPARATOR = "\x1f"

@@ -12,8 +12,11 @@ trials and return compact :class:`TrialResult` records for the reduce step.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import time
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -137,6 +140,44 @@ class TrialResult:
             variance=self.variance,
             count_offset=self.count_offset,
         )
+
+
+class ChunkCorruptionError(RuntimeError):
+    """A chunk result envelope failed its integrity check.
+
+    Raised by :func:`open_chunk` when the payload's digest does not match —
+    whether from an injected ``corrupt`` fault or a real transport bug.  The
+    pool treats it as retryable: the chunk is re-executed, never patched.
+    """
+
+
+@dataclass(frozen=True)
+class ChunkEnvelope:
+    """A chunk result payload sealed with its own content digest.
+
+    Workers pickle their chunk's results and stamp the bytes with SHA-256
+    before shipping; the parent verifies on open.  The envelope turns silent
+    result corruption (a bit flip in transit, a buggy serializer) into a
+    loud, *retryable* failure — the same recovery path as a killed worker.
+    """
+
+    data: bytes
+    digest: bytes
+
+
+def seal_chunk(payload: Any) -> ChunkEnvelope:
+    """Pickle ``payload`` and seal it with its SHA-256 digest."""
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return ChunkEnvelope(data=data, digest=hashlib.sha256(data).digest())
+
+
+def open_chunk(envelope: ChunkEnvelope) -> Any:
+    """Verify an envelope's digest, then unpickle its payload."""
+    if hashlib.sha256(envelope.data).digest() != envelope.digest:
+        raise ChunkCorruptionError(
+            f"chunk envelope digest mismatch over {len(envelope.data)} bytes"
+        )
+    return pickle.loads(envelope.data)
 
 
 @dataclass(frozen=True)

@@ -41,6 +41,7 @@ task fingerprint.
 from __future__ import annotations
 
 import sqlite3
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Iterator, Sequence
@@ -51,6 +52,8 @@ from repro import obs
 from repro.query.predicates import NeighborCountPredicate, Predicate, SkybandPredicate
 from repro.query.sql import quote_identifier, table_to_sqlite
 from repro.query.table import Table
+from repro.resilience.faults import active_plan
+from repro.resilience.retry import backoff_delays
 
 #: Spec names accepted by :func:`make_backend` (``"chunked"`` also accepts a
 #: ``:<rows>`` suffix selecting the block size).
@@ -292,11 +295,25 @@ class SqliteBackend(QueryBackend):
         predicate: the expensive predicate.
         table_name: name under which the table is materialised (defaults to
             the table's own name).
+        database: ``":memory:"`` (default) or a filesystem path; a file
+            database lets other connections genuinely contend for locks,
+            which is how the contention tests drive the retry path below.
     """
 
     spec = "sqlite"
 
-    def __init__(self, table: Table, predicate: Predicate, table_name: str | None = None) -> None:
+    #: Bounded recovery for held-lock errors that survive ``busy_timeout``:
+    #: each probe batch retries this many times with short jittered backoff
+    #: before the ``OperationalError`` propagates.
+    LOCK_RETRY_LIMIT = 3
+
+    def __init__(
+        self,
+        table: Table,
+        predicate: Predicate,
+        table_name: str | None = None,
+        database: str = ":memory:",
+    ) -> None:
         super().__init__(table, predicate)
         self.table_name = table_name or table.name or "objects"
         # ``check_same_thread=False``: the estimate server evaluates requests
@@ -304,7 +321,7 @@ class SqliteBackend(QueryBackend):
         # any one backend; combined with the WAL/busy_timeout pragmas from
         # ``table_to_sqlite`` this makes concurrent service reads safe.
         self.connection: sqlite3.Connection | None = table_to_sqlite(
-            table, table_name=self.table_name, check_same_thread=False
+            table, table_name=self.table_name, check_same_thread=False, database=database
         )
         quoted = quote_identifier(self.table_name)
         if isinstance(predicate, NeighborCountPredicate):
@@ -330,6 +347,36 @@ class SqliteBackend(QueryBackend):
             raise RuntimeError("sqlite backend is closed")
         return self.connection
 
+    def _query_rows(self, sql: str, bindings: Sequence) -> list:
+        """One probe batch, with bounded retry on held-lock errors.
+
+        ``busy_timeout`` already absorbs most contention inside sqlite; this
+        covers the residue — a writer that outlives the timeout, or an
+        injected ``lock`` fault from the active plan — by retrying the whole
+        statement on ``database is locked`` / ``busy`` with short jittered
+        backoff.  The statement is a pure read, so a retried batch returns
+        bytes identical to an uncontended one.  Any other operational error
+        propagates untouched.
+        """
+        plan = active_plan()
+        delays = backoff_delays(self.LOCK_RETRY_LIMIT, base=0.01, cap=0.25, seed=0)
+        attempt = 0
+        while True:
+            try:
+                if plan is not None:
+                    plan.sqlite_batch()
+                return self._require_connection().execute(sql, bindings).fetchall()
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                if attempt >= len(delays):
+                    raise
+                if obs.enabled():
+                    obs.registry().inc(obs.LOCK_RETRIES, backend=self.spec)
+                time.sleep(delays[attempt])
+                attempt += 1
+
     def evaluate(self, indices: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)
         if self._plan is None:
@@ -346,7 +393,7 @@ class SqliteBackend(QueryBackend):
         if np.any(out_of_range):
             bad = indices[out_of_range][:5].tolist()
             raise IndexError(f"object indices {bad} out of range for {self.num_objects} objects")
-        connection = self._require_connection()
+        self._require_connection()
         unique = np.unique(indices)
         self._record_scan(unique.size)
         record_roundtrips = obs.enabled()
@@ -361,7 +408,7 @@ class SqliteBackend(QueryBackend):
                 f"FROM {self._quoted_name} o1 WHERE o1.rowidx IN ({placeholders})"
             )
             bindings = (*self._plan.parameters, *(int(i) for i in batch))
-            for rowidx, label in connection.execute(sql, bindings):
+            for rowidx, label in self._query_rows(sql, bindings):
                 labels_by_index[int(rowidx)] = float(label)
         # Every in-range rowidx exists in the materialised table, so the
         # lookups below cannot miss.
@@ -370,7 +417,7 @@ class SqliteBackend(QueryBackend):
     def evaluate_all(self) -> np.ndarray:
         if self._plan is None:
             return np.asarray(self.predicate.evaluate_all(self.table), dtype=np.float64)
-        connection = self._require_connection()
+        self._require_connection()
         self._record_scan(self.num_objects)
         if obs.enabled():
             obs.registry().inc(obs.SQL_ROUNDTRIPS, backend=self.spec)
@@ -378,7 +425,7 @@ class SqliteBackend(QueryBackend):
             f"SELECT {self._plan.label_expression} "
             f"FROM {self._quoted_name} o1 ORDER BY o1.rowidx"
         )
-        rows = connection.execute(sql, self._plan.parameters).fetchall()
+        rows = self._query_rows(sql, self._plan.parameters)
         return np.fromiter((float(label) for (label,) in rows), dtype=np.float64, count=len(rows))
 
 

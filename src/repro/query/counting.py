@@ -24,6 +24,7 @@ import numpy as np
 from repro import obs
 from repro.query.predicates import Predicate
 from repro.query.table import Table
+from repro.resilience.faults import TransientFaultError, active_plan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.query.backends import QueryBackend
@@ -211,22 +212,52 @@ class CountingQuery:
             )
         self._cached_labels = labels
 
+    #: Bounded recovery budget for transient oracle-batch failures (injected
+    #: by a fault plan, or real flaky backends): retries beyond this raise.
+    ORACLE_RETRY_LIMIT = 2
+
+    def _compute_labels(self, indices: np.ndarray) -> np.ndarray:
+        if self.cache_labels:
+            labels: np.ndarray = self._all_labels()[indices]
+            return labels
+        # The backend executes the predicate (vectorized kernels, SQL
+        # pushdown or chunk streaming); label values are byte-identical
+        # whichever backend runs, and each index is still charged as one
+        # predicate evaluation in evaluate() below.
+        return np.asarray(self.backend.evaluate(indices), dtype=np.float64)
+
     def evaluate(self, indices: Sequence[int] | np.ndarray) -> np.ndarray:
         """Evaluate the expensive predicate on the given objects.
 
         Each call is charged to the query's evaluation counter; estimators
         are compared on this count.
+
+        When a fault plan is active (:mod:`repro.resilience`), each batch
+        passes through the plan's oracle-batch site first — an injected
+        delay just slows the call, while an injected transient error is
+        absorbed by up to :attr:`ORACLE_RETRY_LIMIT` retries.  Labels are a
+        pure function of the indices, so a retried batch returns the exact
+        bytes of an unfaulted one, and accounting charges the batch once.
         """
         indices = np.asarray(indices, dtype=np.int64)
         started = time.perf_counter()
-        if self.cache_labels:
-            labels = self._all_labels()[indices]
+        plan = active_plan()
+        if plan is None:
+            labels = self._compute_labels(indices)
         else:
-            # The backend executes the predicate (vectorized kernels, SQL
-            # pushdown or chunk streaming); label values are byte-identical
-            # whichever backend runs, and each index is still charged as one
-            # predicate evaluation below.
-            labels = np.asarray(self.backend.evaluate(indices), dtype=np.float64)
+            failure: TransientFaultError | None = None
+            for _attempt in range(1 + self.ORACLE_RETRY_LIMIT):
+                try:
+                    plan.oracle_batch()
+                    labels = self._compute_labels(indices)
+                    break
+                except TransientFaultError as exc:
+                    failure = exc
+                    if obs.enabled():
+                        obs.registry().inc(obs.ORACLE_RETRIES)
+            else:
+                assert failure is not None
+                raise failure
         self._evaluations += int(indices.size)
         self._evaluation_seconds += time.perf_counter() - started
         if obs.enabled():

@@ -58,6 +58,7 @@ def table_to_sqlite(
     connection: sqlite3.Connection | None = None,
     table_name: str | None = None,
     check_same_thread: bool = True,
+    database: str = ":memory:",
 ) -> sqlite3.Connection:
     """Materialise a table into sqlite3 (in memory unless given a connection).
 
@@ -76,9 +77,14 @@ def table_to_sqlite(
             executor threads while serialising access with its own locks, so
             it passes ``False``; direct library use keeps sqlite's default
             same-thread guard.
+        database: where to materialise when opening a new connection —
+            ``":memory:"`` (the default) or a filesystem path.  A file
+            database is what the contention tests use: a second connection
+            from another thread or process can then genuinely hold locks
+            against this one, exercising the WAL + ``busy_timeout`` recipe.
     """
     if connection is None:
-        connection = sqlite3.connect(":memory:", check_same_thread=check_same_thread)
+        connection = sqlite3.connect(database, check_same_thread=check_same_thread)
         for pragma in CONNECTION_PRAGMAS:
             connection.execute(pragma)
     name = quote_identifier(table_name or table.name)

@@ -1,0 +1,36 @@
+"""Fault injection and recovery primitives (stdlib only).
+
+``repro.resilience`` extends the repository's determinism invariant into the
+failure domain: injected faults (worker kills, chunk corruption, oracle
+flakes, sqlite locks) are scripted by a seeded :class:`FaultPlan`, and every
+recovery path — chunk re-dispatch, pool rebuild, lock retry — must reproduce
+the fault-free run byte-for-byte.  See the README's "Resilience" section.
+"""
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FAULTS_ENV,
+    JOURNAL_ENV,
+    ChunkFault,
+    FaultPlan,
+    FaultSpec,
+    TransientFaultError,
+    active_plan,
+    install,
+    reset,
+)
+from repro.resilience.retry import backoff_delays
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULTS_ENV",
+    "JOURNAL_ENV",
+    "ChunkFault",
+    "FaultPlan",
+    "FaultSpec",
+    "TransientFaultError",
+    "active_plan",
+    "backoff_delays",
+    "install",
+    "reset",
+]

@@ -1,0 +1,268 @@
+"""Deterministic fault injection: the chaos half of ``repro.resilience``.
+
+A :class:`FaultPlan` is a tiny, replayable script of failures: *which* fault
+fires (worker kill, chunk hang, result corruption, transient oracle error,
+sqlite lock...) and *when* (on the Nth visit to its injection site).  Plans
+are described by a spec string in the same ``name[:argument]`` grammar as
+every other textual knob in the library
+(:class:`~repro.experiments.config.SpecString`), e.g. ::
+
+    REPRO_FAULTS="kill:2,corrupt:1,seed:42"
+
+kills a warm-pool worker on the second dispatched chunk and corrupts the
+first chunk's result envelope.  Firing is counter-based — the Nth occurrence
+at a site, each spec consumed once — so a chaos run replays *exactly* given
+the same spec; the ``seed`` only jitters injected sleep durations, through
+its own :class:`random.Random`, and never touches estimator RNG streams.
+
+Two injection disciplines keep recovery testable:
+
+* **Pool faults** (``kill`` / ``hang`` / ``corrupt`` / ``flake``) are armed
+  by the *parent* at dispatch time and shipped to the worker inside the
+  chunk call.  The parent's counters advance deterministically, so a
+  re-dispatched chunk is never re-armed — recovery cannot livelock on its
+  own fault.
+* **In-process faults** (``delay`` / ``oracle`` / ``lock``) fire at their
+  call site through the process-local plan installed by :func:`install`
+  (or lazily from the ``REPRO_FAULTS`` environment variable).
+
+Every fired fault is appended to the plan's in-memory journal, counted on
+the (gated) observability registry as ``repro_faults_injected_total``, and —
+when ``REPRO_FAULT_JOURNAL`` names a file — appended there as one JSON line,
+which is the artifact nightly CI uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sqlite3
+import time
+from dataclasses import dataclass, field
+
+from repro import obs
+
+#: Closed vocabulary of fault kinds (``seed`` rides along in the grammar).
+FAULT_KINDS = ("kill", "hang", "corrupt", "flake", "delay", "oracle", "lock")
+
+#: Injection sites, as reported in journals and metrics labels.
+POOL_CHUNK_SITE = "pool.chunk"
+ORACLE_BATCH_SITE = "oracle.batch"
+SQLITE_BATCH_SITE = "sqlite.batch"
+
+#: Which site each fault kind fires at.
+FAULT_SITES = {
+    "kill": POOL_CHUNK_SITE,
+    "hang": POOL_CHUNK_SITE,
+    "corrupt": POOL_CHUNK_SITE,
+    "flake": POOL_CHUNK_SITE,
+    "delay": ORACLE_BATCH_SITE,
+    "oracle": ORACLE_BATCH_SITE,
+    "lock": SQLITE_BATCH_SITE,
+}
+
+#: Environment variables read by :func:`active_plan` / journalling.
+FAULTS_ENV = "REPRO_FAULTS"
+JOURNAL_ENV = "REPRO_FAULT_JOURNAL"
+
+
+class TransientFaultError(RuntimeError):
+    """An injected (or simulated) recoverable failure.
+
+    Raised by ``flake`` faults inside a warm-pool chunk and by ``oracle``
+    faults inside a backend batch; the surrounding retry machinery is
+    expected to absorb a bounded number of these and recover byte-identically.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault: fire ``kind`` on the ``nth`` visit to its site."""
+
+    kind: str
+    nth: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault {self.kind!r}; choose from {FAULT_KINDS}")
+        if self.nth < 1:
+            raise ValueError(f"fault occurrence must be >= 1, got {self.nth}")
+
+    @property
+    def site(self) -> str:
+        return FAULT_SITES[self.kind]
+
+    @property
+    def canonical(self) -> str:
+        return f"{self.kind}:{self.nth}"
+
+
+@dataclass(frozen=True)
+class ChunkFault:
+    """The picklable fault command a parent ships with one chunk dispatch."""
+
+    kind: str
+    seconds: float = 0.0
+
+
+@dataclass
+class FaultPlan:
+    """A replayable schedule of injected faults.
+
+    Attributes:
+        specs: the scripted faults; each fires at most once.
+        seed: jitter seed for injected sleep durations (never estimator RNG).
+        hang_seconds: how long a ``hang`` fault sleeps inside the worker —
+            pick it above the pool's chunk timeout so the hang is observed.
+        delay_seconds: base duration of a ``delay`` fault's oracle-batch sleep.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    hang_seconds: float = 5.0
+    delay_seconds: float = 0.05
+    _counts: dict = field(default_factory=dict, repr=False)
+    _consumed: set = field(default_factory=set, repr=False)
+    events: list = field(default_factory=list, repr=False)
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str, **options: float) -> "FaultPlan":
+        """Parse a comma-separated fault spec string (``"kill:2,lock:1,seed:7"``).
+
+        Each element goes through the shared
+        :class:`~repro.experiments.config.SpecString` grammar, so a typo'd
+        fault name fails with the same message shape as a bad backend or
+        dispatch spec.  An empty string parses to an empty (no-op) plan.
+        """
+        from repro.experiments.config import SpecString
+
+        names = FAULT_KINDS + ("seed",)
+        specs: list[FaultSpec] = []
+        seed = int(options.pop("seed", 0))
+        for element in text.split(","):
+            element = element.strip()
+            if not element:
+                continue
+            parsed = SpecString.parse("fault", element, names, argument_names=names)
+            if parsed.name == "seed":
+                seed = parsed.int_argument(0)
+                continue
+            specs.append(FaultSpec(kind=parsed.name, nth=parsed.int_argument(1)))
+        return cls(specs=tuple(specs), seed=seed, **options)
+
+    @property
+    def canonical(self) -> str:
+        """The plan re-rendered as a spec string (round-trips through parse)."""
+        parts = [spec.canonical for spec in self.specs]
+        parts.append(f"seed:{self.seed}")
+        return ",".join(parts)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # -- firing ---------------------------------------------------------------
+    def _visit(self, site: str) -> FaultSpec | None:
+        """Count one visit to ``site``; return the spec that fires, if any."""
+        count = self._counts.get(site, 0) + 1
+        self._counts[site] = count
+        for index, spec in enumerate(self.specs):
+            if index in self._consumed or spec.site != site or spec.nth != count:
+                continue
+            self._consumed.add(index)
+            self._record(spec, count)
+            return spec
+        return None
+
+    def _record(self, spec: FaultSpec, occurrence: int) -> None:
+        event = {
+            "site": spec.site,
+            "kind": spec.kind,
+            "occurrence": occurrence,
+            "pid": os.getpid(),
+            "seed": self.seed,
+        }
+        self.events.append(event)
+        if obs.enabled():
+            obs.registry().inc(obs.FAULTS_INJECTED, kind=spec.kind, site=spec.site)
+        journal_path = os.environ.get(JOURNAL_ENV)
+        if journal_path:
+            try:
+                with open(journal_path, "a", encoding="utf-8") as journal:
+                    journal.write(json.dumps(event, sort_keys=True) + "\n")
+            except OSError:  # pragma: no cover - journal is best-effort
+                pass
+
+    def jittered(self, seconds: float) -> float:
+        """A duration jittered by the plan's own RNG (deterministic per plan)."""
+        return seconds * (1.0 + 0.5 * self._rng.random())
+
+    # -- site entry points ----------------------------------------------------
+    def arm_chunk(self) -> ChunkFault | None:
+        """Parent-side: the fault command (if any) for the next chunk dispatch."""
+        spec = self._visit(POOL_CHUNK_SITE)
+        if spec is None:
+            return None
+        seconds = self.jittered(self.hang_seconds) if spec.kind == "hang" else 0.0
+        return ChunkFault(kind=spec.kind, seconds=seconds)
+
+    def oracle_batch(self) -> None:
+        """In-process: perturb one oracle batch (sleep or transient error)."""
+        spec = self._visit(ORACLE_BATCH_SITE)
+        if spec is None:
+            return
+        if spec.kind == "delay":
+            time.sleep(self.jittered(self.delay_seconds))
+            return
+        raise TransientFaultError(
+            f"injected oracle fault ({spec.canonical}, seed {self.seed})"
+        )
+
+    def sqlite_batch(self) -> None:
+        """In-process: inject a held-lock error into one sqlite batch."""
+        spec = self._visit(SQLITE_BATCH_SITE)
+        if spec is not None:
+            raise sqlite3.OperationalError("database is locked")
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every scripted fault has fired."""
+        return len(self._consumed) == len(self.specs)
+
+
+# -- process-local installation ----------------------------------------------
+
+_PLAN: FaultPlan | None = None
+_ENV_CHECKED = False
+
+
+def install(plan: FaultPlan | None) -> FaultPlan | None:
+    """Install ``plan`` as this process's active plan; returns the old one."""
+    global _PLAN, _ENV_CHECKED
+    previous, _PLAN = _PLAN, plan
+    _ENV_CHECKED = True
+    return previous
+
+
+def reset() -> None:
+    """Drop the active plan and re-arm the environment lookup (tests)."""
+    global _PLAN, _ENV_CHECKED
+    _PLAN = None
+    _ENV_CHECKED = False
+
+
+def active_plan() -> FaultPlan | None:
+    """The process-local plan, lazily loaded once from ``REPRO_FAULTS``.
+
+    Returns ``None`` (the overwhelmingly common case) when no plan is
+    installed and the environment names none — injection sites pay one
+    global read and a ``None`` check.
+    """
+    global _PLAN, _ENV_CHECKED
+    if _PLAN is None and not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        spec = os.environ.get(FAULTS_ENV, "").strip()
+        if spec:
+            _PLAN = FaultPlan.parse(spec)
+    return _PLAN

@@ -1,0 +1,39 @@
+"""Deterministic jittered exponential backoff shared by every retry loop.
+
+One schedule generator serves the warm pool (chunk re-dispatch), the sqlite
+backend (lock recovery), and the HTTP client (503/connection retry).  The
+jitter draws from a :class:`random.Random` seeded per call, so a retry
+schedule — like everything else in the library — replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def backoff_delays(
+    retries: int,
+    base: float = 0.1,
+    cap: float = 2.0,
+    multiplier: float = 2.0,
+    jitter: float = 0.5,
+    seed: int = 0,
+) -> list[float]:
+    """The sleep schedule for ``retries`` attempts after the first failure.
+
+    Delay ``i`` is ``min(cap, base * multiplier**i)`` scaled by a random
+    factor in ``[1 - jitter, 1 + jitter]`` from a dedicated ``Random(seed)``.
+
+    >>> backoff_delays(3, base=0.1, jitter=0.0)
+    [0.1, 0.2, 0.4]
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    rng = random.Random(seed)
+    delays = []
+    for attempt in range(retries):
+        delay = min(cap, base * multiplier**attempt)
+        if jitter:
+            delay *= 1.0 + jitter * (2.0 * rng.random() - 1.0)
+        delays.append(delay)
+    return delays

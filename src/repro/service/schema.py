@@ -20,6 +20,15 @@ class RequestError(ValueError):
     """A malformed request body (the server answers 400 with the message)."""
 
 
+class PayloadTooLarge(RequestError):
+    """A request body above the server's size limit (answered 413, unread).
+
+    Raised from the declared ``Content-Length`` *before* any body bytes are
+    read or parsed — an oversized payload costs the server one header scan,
+    never a buffer allocation.
+    """
+
+
 def _require_mapping(payload: Any) -> dict:
     if not isinstance(payload, dict):
         raise RequestError("request body must be a JSON object")

@@ -10,6 +10,22 @@ point of the design:
 * ``GET /healthz`` and ``GET /stats`` are answered inline on the loop, so
   liveness checks stay responsive while estimates are in flight.
 
+The failure surface is explicit (the ``repro.resilience`` hardening):
+
+* **Admission control** — at most ``max_workers + max_queue`` requests may
+  be in flight; excess POSTs are shed immediately with ``503`` and a
+  ``Retry-After`` hint rather than queued without bound.
+* **Deadlines** — slow/truncated uploads get ``408`` after ``read_timeout``;
+  oversized bodies get ``413`` from the declared length before any body
+  bytes are read; a request exceeding its deadline (server-wide
+  ``request_timeout`` or the ``X-Repro-Deadline`` header) gets ``504``.
+* **Graceful drain** — ``stop()`` stops accepting, lets in-flight requests
+  finish (bounded), then releases the executor and session; ``/healthz``
+  reports ``ok`` / ``degraded`` (queue non-empty) / ``draining``.
+
+Shedding and deadline events are counted on the server's always-on metrics
+registry and merged into ``GET /metrics``.
+
 Concurrent estimate requests against the same resident table serialise on the
 session's per-resident lock — request *concurrency* changes latency, never
 bytes, because every request derives its randomness from its own seed.
@@ -31,7 +47,10 @@ from typing import Any, Callable
 
 from repro import obs
 from repro.obs.export import prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.retry import backoff_delays
 from repro.service.schema import (
+    PayloadTooLarge,
     RequestError,
     estimate_payload,
     parse_estimate_request,
@@ -42,6 +61,20 @@ from repro.service.session import Session
 
 #: Upper bound on accepted request bodies (these are spec-sized, not data-sized).
 MAX_BODY_BYTES = 1 << 20
+
+#: Seconds suggested to a shed client before it retries.
+RETRY_AFTER_SECONDS = 1
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
 
 
 def _json_bytes(payload: Any) -> bytes:
@@ -58,13 +91,40 @@ class _TextResponse:
         self.content_type = content_type
 
 
+class _Reply(Exception):
+    """Control-flow escape: answer with this status/payload/headers now."""
+
+    def __init__(self, status: int, payload: Any, headers: dict | None = None) -> None:
+        super().__init__(str(status))
+        self.status = status
+        self.payload = payload
+        self.headers = headers or {}
+
+
 class EstimateServer:
     """One session exposed over HTTP.
 
     Routes: ``POST /estimate``, ``POST /sweep`` (thread pool), and inline
     ``GET /healthz``, ``GET /stats``, ``GET /metrics`` (Prometheus text
-    exposition combining the gated global registry with the session's
-    always-on stats registry).
+    exposition combining the gated global registry, the session's always-on
+    stats registry, and the server's own resilience counters).
+
+    Args:
+        session: the resident session to serve (built from
+            ``session_options`` when omitted).
+        host / port: bind address (``port=0`` picks an ephemeral port).
+        max_workers: executor threads running POST handlers.
+        max_queue: admitted requests allowed to wait beyond the busy
+            workers; anything past ``max_workers + max_queue`` in flight is
+            shed with ``503``.
+        max_body_bytes: request-body ceiling; larger declared lengths are
+            refused with ``413`` before the body is read.
+        request_timeout: server-wide deadline (seconds) for POST handlers;
+            ``None`` means no deadline.  A request can tighten (never
+            loosen) it with an ``X-Repro-Deadline: <seconds>`` header.
+            Expiry answers ``504``.
+        read_timeout: how long the head + body of one request may take to
+            arrive before ``408``.
     """
 
     def __init__(
@@ -73,15 +133,39 @@ class EstimateServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_workers: int = 2,
+        max_queue: int = 8,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        request_timeout: float | None = None,
+        read_timeout: float = 30.0,
         **session_options: Any,
     ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
         self.session = session if session is not None else Session(**session_options)
         self.host = host
         self.port = port
+        self.max_workers = max_workers
+        self.max_queue = max_queue
+        self.max_body_bytes = max_body_bytes
+        self.request_timeout = request_timeout
+        self.read_timeout = read_timeout
+        #: Always-on server metrics (shed/deadline counters); merged into
+        #: ``/metrics`` regardless of the global ``REPRO_OBS`` gate, like the
+        #: session's stats registry.
+        self.metrics = MetricsRegistry()
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="estimate"
         )
         self._server: asyncio.AbstractServer | None = None
+        # Request bookkeeping lives on the event-loop thread only, so plain
+        # ints suffice: _inflight counts admitted POSTs not yet answered,
+        # _connections counts open handler coroutines (drain waits on both).
+        self._inflight = 0
+        self._connections = 0
+        self._shed = 0
+        self._draining = False
 
     # -- lifecycle ------------------------------------------------------------
     async def start(self) -> None:
@@ -96,50 +180,99 @@ class EstimateServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self) -> None:
+    async def stop(self, drain: bool = True, timeout: float = 10.0) -> bool:
+        """Stop accepting; optionally drain in-flight work, then release.
+
+        With ``drain=True`` (the default) the server waits up to ``timeout``
+        seconds for open connections and admitted requests to finish before
+        shutting the executor down, so answered requests are never cut off
+        mid-body.  ``drain=False`` is the old behaviour: cancel everything
+        now.  Returns whether the drain completed cleanly (trivially ``True``
+        when not draining... the flag callers care about is "did anything get
+        dropped", which force-stop accepts and drain-stop avoids).
+        """
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        self._executor.shutdown(wait=False, cancel_futures=True)
+        drained = True
+        if drain:
+            deadline = time.monotonic() + timeout
+            while (self._inflight or self._connections) and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
+            drained = not (self._inflight or self._connections)
+        self._executor.shutdown(wait=drain and drained, cancel_futures=not (drain and drained))
         self.session.close()
+        return drained
 
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    # -- health ---------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Admitted requests waiting for a free executor thread."""
+        return max(0, self._inflight - self.max_workers)
+
+    def health(self) -> dict:
+        if self._draining:
+            status = "draining"
+        elif self.queue_depth > 0:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "inflight": self._inflight,
+            "queue_depth": self.queue_depth,
+            "max_workers": self.max_workers,
+            "max_queue": self.max_queue,
+            "requests_shed": self._shed,
+        }
+
     # -- request handling -----------------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._connections += 1
+        headers: dict = {}
         try:
-            status, payload = await self._dispatch(reader)
-        except RequestError as exc:
-            status, payload = 400, {"error": str(exc)}
-        except ValueError as exc:
-            status, payload = 400, {"error": str(exc)}
-        except asyncio.IncompleteReadError:
-            writer.close()
-            return
-        except Exception as exc:  # pragma: no cover - defensive catch-all
-            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        if isinstance(payload, _TextResponse):
-            body = payload.body
-            content_type = payload.content_type
-        else:
-            body = _json_bytes(payload)
-            content_type = "application/json"
-        reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error"}
-        writer.write(
-            f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n".encode() + body
-        )
-        try:
-            await writer.drain()
+            try:
+                status, payload = await self._dispatch(reader)
+            except _Reply as reply:
+                status, payload, headers = reply.status, reply.payload, reply.headers
+            except RequestError as exc:
+                status, payload = 400, {"error": str(exc)}
+            except ValueError as exc:
+                status, payload = 400, {"error": str(exc)}
+            except asyncio.IncompleteReadError:
+                status, payload = 400, {"error": "truncated request body"}
+            except Exception as exc:  # pragma: no cover - defensive catch-all
+                status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            if isinstance(payload, _TextResponse):
+                body = payload.body
+                content_type = payload.content_type
+            else:
+                body = _json_bytes(payload)
+                content_type = "application/json"
+            extra = "".join(f"{name}: {value}\r\n" for name, value in headers.items())
+            writer.write(
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"{extra}"
+                f"Connection: close\r\n\r\n".encode() + body
+            )
+            try:
+                await writer.drain()
+            finally:
+                writer.close()
         finally:
-            writer.close()
+            self._connections -= 1
 
-    async def _dispatch(self, reader: asyncio.StreamReader) -> tuple[int, Any]:
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise RequestError("empty request")
@@ -147,39 +280,119 @@ class EstimateServer:
             verb, path, _ = request_line.split(" ", 2)
         except ValueError as exc:
             raise RequestError(f"malformed request line {request_line!r}") from exc
-        content_length = 0
+        headers: dict[str, str] = {}
         while True:
             header = (await reader.readline()).decode("latin-1").strip()
             if not header:
                 break
             name, _, value = header.partition(":")
-            if name.strip().lower() == "content-length":
-                content_length = int(value.strip())
-        if content_length > MAX_BODY_BYTES:
-            raise RequestError("request body too large")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            content_length = int(headers.get("content-length", "0"))
+        except ValueError as exc:
+            raise RequestError("malformed Content-Length header") from exc
+        if content_length > self.max_body_bytes:
+            # Refuse from the declared length alone: the body is never read.
+            raise PayloadTooLarge(
+                f"request body of {content_length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit"
+            )
         body = await reader.readexactly(content_length) if content_length else b""
+        return verb, path, headers, body
+
+    def _deadline_for(self, headers: dict[str, str]) -> float | None:
+        """Effective deadline: the tighter of server default and request header."""
+        requested = headers.get("x-repro-deadline")
+        deadline = self.request_timeout
+        if requested is not None:
+            try:
+                value = float(requested)
+            except ValueError as exc:
+                raise RequestError("malformed X-Repro-Deadline header") from exc
+            if value <= 0:
+                raise RequestError("X-Repro-Deadline must be positive")
+            deadline = value if deadline is None else min(deadline, value)
+        return deadline
+
+    async def _dispatch(self, reader: asyncio.StreamReader) -> tuple[int, Any]:
+        try:
+            verb, path, headers, body = await asyncio.wait_for(
+                self._read_request(reader), timeout=self.read_timeout
+            )
+        except PayloadTooLarge as exc:
+            raise _Reply(413, {"error": str(exc)}) from exc
+        except (asyncio.TimeoutError, TimeoutError) as exc:
+            raise _Reply(408, {"error": "request head/body not received in time"}) from exc
 
         route = (verb.upper(), path.split("?", 1)[0])
         if route == ("GET", "/healthz"):
             # Inline on the event loop: alive even while the executor is busy
             # with a learning phase.
-            return 200, {"status": "ok"}
+            return 200, self.health()
         if route == ("GET", "/stats"):
             return 200, self.session.stats_dict()
         if route == ("GET", "/metrics"):
-            # Inline like /stats: the exposition is a pure read of the two
+            # Inline like /stats: the exposition is a pure read of the three
             # registries, cheap enough for the event loop.
-            text = prometheus_text(obs.registry(), self.session.stats.registry)
+            text = prometheus_text(
+                obs.registry(), self.session.stats.registry, self.metrics
+            )
             return 200, _TextResponse(text, "text/plain; version=0.0.4")
         if route == ("POST", "/estimate"):
-            return 200, await self._run(self._estimate, body)
+            return 200, await self._run(self._estimate, body, headers, "/estimate")
         if route == ("POST", "/sweep"):
-            return 200, await self._run(self._sweep, body)
+            return 200, await self._run(self._sweep, body, headers, "/sweep")
         return 404, {"error": f"no route for {verb} {path}"}
 
-    async def _run(self, handler: Callable[[bytes], Any], body: bytes) -> Any:
+    async def _run(
+        self,
+        handler: Callable[[bytes], Any],
+        body: bytes,
+        headers: dict[str, str],
+        route: str,
+    ) -> Any:
+        if self._draining:
+            self.metrics.inc(obs.REQUESTS_SHED, route=route, reason="draining")
+            raise _Reply(
+                503,
+                {"error": "server is draining"},
+                {"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+        if self._inflight >= self.max_workers + self.max_queue:
+            # Load shedding: beyond the worker threads plus a bounded queue,
+            # answering 503 now beats stacking unbounded latency.
+            self._shed += 1
+            self.metrics.inc(obs.REQUESTS_SHED, route=route, reason="queue_full")
+            raise _Reply(
+                503,
+                {"error": "server is at capacity"},
+                {"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+        deadline = self._deadline_for(headers)
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._executor, handler, body)
+        self._inflight += 1
+        call = loop.run_in_executor(self._executor, handler, body)
+
+        def _settled(done: "asyncio.Future") -> None:
+            # Runs on the loop thread.  Capacity frees when the executor
+            # thread actually finishes — a 504'd request keeps occupying its
+            # slot until then, so deadlines cannot be used to over-admit.
+            self._inflight -= 1
+            if not done.cancelled():
+                done.exception()  # retrieved: no "exception never consumed" noise
+
+        call.add_done_callback(_settled)
+        if deadline is None:
+            return await call
+        try:
+            return await asyncio.wait_for(asyncio.shield(call), timeout=deadline)
+        except (asyncio.TimeoutError, TimeoutError) as exc:
+            # The executor thread cannot be interrupted; the shield lets
+            # it finish in the background while the client gets 504.
+            self.metrics.inc(obs.REQUEST_DEADLINES, route=route)
+            raise _Reply(
+                504, {"error": f"request exceeded its {deadline}s deadline"}
+            ) from exc
 
     @staticmethod
     def _body_json(body: bytes) -> Any:
@@ -220,6 +433,11 @@ class ServerThread:
     The harness tests, the smoke check and the example client all need a
     server alongside synchronous code; this wraps the asyncio lifecycle into
     ``start()`` / ``stop()`` with a ready event.  Use as a context manager.
+
+    ``stop()`` drains by default: in-flight requests finish (bounded by the
+    stop timeout) before the loop, executor and session are released.  Pass
+    ``force=True`` to cancel everything immediately — the escape hatch for
+    wedged servers, and the only path that may drop in-flight work.
     """
 
     def __init__(self, server: EstimateServer | None = None, **server_options: Any) -> None:
@@ -227,6 +445,7 @@ class ServerThread:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
+        self._stop_event: asyncio.Event | None = None
 
     def start(self, timeout: float = 30.0) -> "ServerThread":
         self._thread = threading.Thread(target=self._serve, name="estimate-server", daemon=True)
@@ -240,31 +459,62 @@ class ServerThread:
         asyncio.set_event_loop(self._loop)
 
         async def _main() -> None:
+            # The asyncio server accepts as soon as start() returns; _main
+            # then parks on an explicit stop event instead of serve_forever,
+            # so a drain-stop can run its course *before* the loop is let
+            # run down (cancelling serve_forever would tear the loop out
+            # from under the in-flight handler coroutines).
+            self._stop_event = asyncio.Event()
             await self.server.start()
             self._ready.set()
-            assert self.server._server is not None
-            async with self.server._server:
-                try:
-                    await self.server._server.serve_forever()
-                except asyncio.CancelledError:
-                    pass
+            try:
+                await self._stop_event.wait()
+            except asyncio.CancelledError:  # force-stop escalation
+                pass
 
         try:
             self._loop.run_until_complete(_main())
         finally:
             self._loop.close()
 
-    def stop(self) -> None:
+    def stop(self, force: bool = False, timeout: float = 10.0) -> None:
+        """Stop the server and join the loop thread (hard deadline).
+
+        Default is a graceful drain (see :meth:`EstimateServer.stop`); with
+        ``force=True``, or when the drain misses the deadline, every task on
+        the loop is cancelled and the executor is torn down immediately.
+        """
         loop, thread = self._loop, self._thread
         if loop is None or thread is None:
             return
 
-        def _shutdown() -> None:
-            for task in asyncio.all_tasks(loop):
-                task.cancel()
+        async def _shutdown() -> None:
+            try:
+                await self.server.stop(drain=not force, timeout=timeout)
+            finally:
+                assert self._stop_event is not None
+                self._stop_event.set()
 
-        loop.call_soon_threadsafe(_shutdown)
-        thread.join(timeout=10)
+        clean = False
+        try:
+            future = asyncio.run_coroutine_threadsafe(_shutdown(), loop)
+            future.result(timeout=timeout + 5.0)
+            clean = True
+        except Exception:
+            pass
+        if not clean:
+            # Escalation: the drain wedged or the loop is unhealthy — cancel
+            # everything so the join below cannot hang forever.
+            def _cancel_all() -> None:
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+
+            try:
+                loop.call_soon_threadsafe(_cancel_all)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+        thread.join(timeout=timeout)
+        # Idempotent with the drained path; decisive on the escalation path.
         self.server._executor.shutdown(wait=False, cancel_futures=True)
         self.server.session.close()
         self._loop = None
@@ -282,25 +532,74 @@ class ServerThread:
 
 
 def request_json(
-    url: str, path: str, payload: Any = None, method: str | None = None, timeout: float = 300.0
+    url: str,
+    path: str,
+    payload: Any = None,
+    method: str | None = None,
+    timeout: float = 300.0,
+    retries: int = 0,
+    idempotent: bool | None = None,
+    backoff_base: float = 0.25,
+    backoff_seed: int = 0,
 ) -> Any:
-    """Tiny JSON-over-HTTP client (urllib), shared by smoke/tests/examples."""
+    """Tiny JSON-over-HTTP client (urllib), shared by smoke/tests/examples.
+
+    Retry policy (off by default, ``retries=0``): connection errors and
+    ``503`` responses are retried up to ``retries`` times with deterministic
+    jittered exponential backoff (:func:`repro.resilience.backoff_delays`),
+    honouring a ``Retry-After`` hint when the server sheds load — but **only
+    for idempotent requests**: GETs by default, or any request explicitly
+    marked ``idempotent=True`` (estimate POSTs qualify — a request's bytes
+    are a pure function of its seed — but the caller must say so).  Every
+    other failure raises immediately.
+    """
     import urllib.error
     import urllib.request
 
     data = None if payload is None else _json_bytes(payload)
-    request = urllib.request.Request(
-        url.rstrip("/") + path,
-        data=data,
-        method=method or ("POST" if data is not None else "GET"),
-        headers={"Content-Type": "application/json"},
+    resolved_method = method or ("POST" if data is not None else "GET")
+    can_retry = idempotent if idempotent is not None else resolved_method.upper() == "GET"
+    delays = (
+        backoff_delays(retries, base=backoff_base, cap=5.0, seed=backoff_seed)
+        if can_retry and retries > 0
+        else []
     )
-    try:
-        with urllib.request.urlopen(request, timeout=timeout) as response:
-            return json.loads(response.read())
-    except urllib.error.HTTPError as exc:
-        detail = json.loads(exc.read() or b"{}")
-        raise RuntimeError(f"{path} -> {exc.code}: {detail.get('error', detail)}") from exc
+
+    def _sleep(attempt: int, retry_after: str | None) -> None:
+        delay = delays[attempt]
+        if retry_after:
+            try:
+                delay = max(delay, min(float(retry_after), 5.0))
+            except ValueError:
+                pass
+        if obs.enabled():
+            obs.registry().observe(obs.RETRY_BACKOFF_SECONDS, delay, path=path)
+        time.sleep(delay)
+
+    attempt = 0
+    while True:
+        request = urllib.request.Request(
+            url.rstrip("/") + path,
+            data=data,
+            method=resolved_method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            if exc.code == 503 and attempt < len(delays):
+                _sleep(attempt, exc.headers.get("Retry-After"))
+                attempt += 1
+                continue
+            detail = json.loads(exc.read() or b"{}")
+            raise RuntimeError(f"{path} -> {exc.code}: {detail.get('error', detail)}") from exc
+        except urllib.error.URLError:
+            if attempt < len(delays):
+                _sleep(attempt, None)
+                attempt += 1
+                continue
+            raise
 
 
 def request_text(url: str, path: str, timeout: float = 60.0) -> str:
@@ -321,6 +620,15 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--backend", default="numpy", help="query backend spec")
     parser.add_argument("--max-resident", type=int, default=4)
     parser.add_argument("--max-workers", type=int, default=2, help="estimate thread pool size")
+    parser.add_argument(
+        "--max-queue", type=int, default=8, help="admitted requests beyond busy workers"
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds (504 on expiry)",
+    )
     options = parser.parse_args(argv)
 
     session = Session(
@@ -331,7 +639,12 @@ def main(argv: "list[str] | None" = None) -> int:
         max_resident=options.max_resident,
     )
     server = EstimateServer(
-        session=session, host=options.host, port=options.port, max_workers=options.max_workers
+        session=session,
+        host=options.host,
+        port=options.port,
+        max_workers=options.max_workers,
+        max_queue=options.max_queue,
+        request_timeout=options.request_timeout,
     )
 
     async def _serve() -> None:

@@ -272,6 +272,7 @@ class Session:
         self._residents: "OrderedDict[tuple, ResidentWorkload]" = OrderedDict()
         self._designs: dict[tuple, dict] = {}
         self._lock = threading.Lock()
+        self._closed = False
 
         adopted: Workload | None = None
         if isinstance(source, Workload):
@@ -319,6 +320,11 @@ class Session:
             raise ValueError(f"unknown dataset {dataset!r}; choose from {DATASET_NAMES}")
         key = (dataset, num_rows, seed, cache_labels, backend)
         with self._lock:
+            if self._closed:
+                # A request arriving after close() (e.g. during server
+                # drain-stop) must fail loudly: silently rebuilding residents
+                # here would resurrect tables the shutdown just released.
+                raise RuntimeError("session is closed")
             resident = self._residents.get(key)
             if resident is not None:
                 self._residents.move_to_end(key)
@@ -661,9 +667,14 @@ class Session:
         payload["design_cache_misses"] = default_design_cache.misses
         return payload
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
-        """Release every resident workload (idempotent)."""
+        """Release every resident workload; later requests raise (idempotent)."""
         with self._lock:
+            self._closed = True
             residents = list(self._residents.values())
             self._residents.clear()
             self._designs.clear()
