@@ -1,0 +1,254 @@
+"""Tracked benchmark for SQL pushdown v2: stage queries vs per-row probes.
+
+Measures what pushing estimator stages into the database buys.  The *counts*
+level (the ``sqlite`` default) answers every oracle batch with correlated
+COUNT probes — one SQL round trip per probe batch, several per estimate.
+The *full* level answers each estimator stage (LWS sampling, LSS pilot,
+LSS stage II) with ONE aggregate query over an in-database layout built
+from ``ROW_NUMBER``/``NTILE`` window functions, after which only the
+learning-phase probe batch still travels row-wise.
+
+The driver runs seeded LWS and LSS estimates at both levels over the same
+sqlite-resident workload, asserts the estimates are byte-identical (pushdown
+is a representation change, never semantics), reports per-estimate latency
+and SQL-query counts, and emits ``BENCH_pushdown.json`` at the repository
+root next to the other trajectories.
+
+The gate is counter-based, not timing-based, so it cannot flake: under
+``pushdown=full`` an LSS estimate must issue at most half the SQL queries
+(round trips + stage queries) that the counts level issues.  Byte identity
+is asserted unconditionally.
+
+Usage::
+
+    python benchmarks/run_pushdown.py                    # writes BENCH_pushdown.json
+    python benchmarks/run_pushdown.py --scale small      # quick smoke sizes
+    python benchmarks/run_pushdown.py --output /tmp/p.json --check-against BENCH_pushdown.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+_REPO_ROOT = pathlib.Path(__file__).parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.core.lss import LearnedStratifiedSampling  # noqa: E402
+from repro.core.lws import LearnedWeightedSampling  # noqa: E402
+from repro.workloads.queries import WorkloadSpec  # noqa: E402
+
+DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_pushdown.json"
+
+MASTER_SEED = 20190621
+SAMPLE_FRACTION = 0.05
+
+#: The counts level answers LSS with one round trip per probe batch; the
+#: full level needs the learning batch plus one aggregate query per stage.
+#: The gate requires at least this reduction factor in SQL queries per
+#: LSS estimate.
+TARGET_REDUCTION = 2.0
+
+#: A re-measured reduction may regress to this fraction of the committed
+#: baseline before --check-against fails; below that it's a real
+#: regression, not noise (the counters are deterministic, so in practice
+#: any drift at all means the query plan changed).
+BASELINE_TOLERANCE = 0.8
+
+LEVELS = ("sqlite", "sqlite:pushdown=full")
+
+
+def _estimator(method: str):
+    return LearnedWeightedSampling() if method == "lws" else LearnedStratifiedSampling()
+
+
+def _fingerprint(estimate, query) -> tuple:
+    return (
+        estimate.count,
+        estimate.proportion,
+        estimate.variance,
+        estimate.predicate_evaluations,
+        query.evaluations,
+    )
+
+
+def _measure(backend_spec: str, method: str, num_rows: int, trials: int) -> dict:
+    """Seeded estimates on one backend spec: latency, SQL counters, bytes."""
+    spec = WorkloadSpec(
+        dataset="neighbors",
+        level="S",
+        num_rows=num_rows,
+        seed=7,
+        cache_labels=False,
+        backend=backend_spec,
+    )
+    workload = spec.build()
+    query = workload.query
+    budget = workload.sample_size(SAMPLE_FRACTION)
+    registry = obs.registry()
+    registry.reset()
+    latencies = []
+    fingerprints = []
+    for index in range(trials):
+        estimator = _estimator(method)
+        with query.fresh_accounting():
+            started = time.perf_counter()
+            estimate = estimator.estimate(query, budget, seed=MASTER_SEED + index)
+            latencies.append(time.perf_counter() - started)
+            fingerprints.append(_fingerprint(estimate, query))
+    roundtrips = registry.counter_total(obs.SQL_ROUNDTRIPS)
+    stage_queries = registry.counter_total(obs.SQL_STAGE_QUERIES)
+    registry.reset()
+    query.backend.close()
+    samples = np.asarray(latencies, dtype=np.float64)
+    return {
+        "backend": query.backend_spec,
+        "capabilities": list(query.backend.capabilities()),
+        "budget": budget,
+        "trials": trials,
+        "p50_ms": round(float(np.percentile(samples, 50)) * 1e3, 3),
+        "p99_ms": round(float(np.percentile(samples, 99)) * 1e3, 3),
+        "sql_roundtrips_per_estimate": roundtrips / trials,
+        "sql_stage_queries_per_estimate": stage_queries / trials,
+        "sql_queries_per_estimate": (roundtrips + stage_queries) / trials,
+        "fingerprints": fingerprints,
+    }
+
+
+def _gate(counts_queries: float, full_queries: float) -> dict:
+    reduction = counts_queries / full_queries if full_queries > 0 else float("inf")
+    return {
+        "name": "lss_sql_queries_reduction",
+        "target": TARGET_REDUCTION,
+        "speedup": round(reduction, 3),
+        "status": "pass" if reduction >= TARGET_REDUCTION else "fail",
+    }
+
+
+def run_suite(scale: str = "full", trials: int | None = None) -> dict:
+    """Run the counts-vs-full comparison and assemble the trajectory document."""
+    num_rows = 12_000 if scale == "full" else 2_000
+    if trials is None:
+        trials = 12 if scale == "full" else 4
+
+    was_enabled = obs.set_enabled(True)
+    try:
+        methods = {}
+        gate = None
+        for method in ("lws", "lss"):
+            by_level = {spec: _measure(spec, method, num_rows, trials) for spec in LEVELS}
+            counts, full = by_level["sqlite"], by_level["sqlite:pushdown=full"]
+            identical = counts["fingerprints"] == full["fingerprints"]
+            if not identical:
+                raise AssertionError(
+                    f"{method}: pushdown=full diverged from the counts level — "
+                    "backends are representations, never semantics"
+                )
+            for row in by_level.values():
+                del row["fingerprints"]  # asserted, not archived
+            methods[method] = {
+                "counts": counts,
+                "full": full,
+                "byte_identical": identical,
+                "sql_queries_reduction": round(
+                    counts["sql_queries_per_estimate"] / full["sql_queries_per_estimate"], 3
+                ),
+            }
+            print(
+                f"{method}: counts {counts['sql_queries_per_estimate']:.1f} queries/est "
+                f"p50 {counts['p50_ms']:.1f} ms | "
+                f"full {full['sql_queries_per_estimate']:.1f} queries/est "
+                f"({full['sql_stage_queries_per_estimate']:.0f} stage) "
+                f"p50 {full['p50_ms']:.1f} ms | byte-identical"
+            )
+            if method == "lss":
+                gate = _gate(
+                    counts["sql_queries_per_estimate"], full["sql_queries_per_estimate"]
+                )
+    finally:
+        obs.set_enabled(was_enabled)
+        obs.reset()
+
+    print(f"gate {gate['status']}: {gate['speedup']}x vs {gate['target']}x target")
+    return {
+        "suite": "sql-pushdown",
+        "scale": scale,
+        "num_rows": num_rows,
+        "trials_per_level": trials,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "methods": methods,
+        "gate": gate,
+    }
+
+
+def check_against(document: dict, baseline_path: pathlib.Path) -> int:
+    """Compare a fresh run against the committed baseline document.
+
+    Returns a process exit code: 1 if the fresh gate misses its floor or the
+    reduction regressed below ``BASELINE_TOLERANCE`` of the committed
+    baseline; 0 otherwise.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    current_gate = document["gate"]
+    baseline_gate = baseline.get("gate", {})
+    if current_gate["status"] == "fail":
+        print(
+            f"FAIL: SQL-query reduction {current_gate['speedup']}x is below the "
+            f"{current_gate['target']}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    if baseline_gate.get("status") != "pass":
+        print(
+            f"gate pass at {current_gate['speedup']}x "
+            "(committed baseline had no passing gate to compare against)"
+        )
+        return 0
+    floor = BASELINE_TOLERANCE * float(baseline_gate["speedup"])
+    if current_gate["speedup"] < floor:
+        print(
+            f"FAIL: SQL-query reduction regressed to {current_gate['speedup']}x; "
+            f"committed baseline is {baseline_gate['speedup']}x "
+            f"(tolerance floor {floor:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"gate pass at {current_gate['speedup']}x "
+        f"(baseline {baseline_gate['speedup']}x, floor {floor:.2f}x)"
+    )
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--scale", choices=("small", "full"), default="full")
+    parser.add_argument("--trials", type=int, default=None)
+    parser.add_argument(
+        "--check-against",
+        type=pathlib.Path,
+        default=None,
+        help="committed BENCH_pushdown.json to compare the fresh run against",
+    )
+    args = parser.parse_args(argv)
+    document = run_suite(scale=args.scale, trials=args.trials)
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if args.check_against is not None:
+        return check_against(document, args.check_against)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

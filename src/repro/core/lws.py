@@ -118,6 +118,9 @@ class LearnedWeightedSampling:
 
         sampler = WeightedSampling(floor=self.score_floor, confidence=self.confidence)
         with obs.stage("lws.sampling"):
+            # A sampling-pushdown backend runs the whole stage as one
+            # aggregate query; ``None`` keeps the client-side oracle path.
+            # Either way the estimate is byte-identical.
             estimate = sampler.estimate(
                 remaining,
                 scores,
@@ -125,6 +128,7 @@ class LearnedWeightedSampling:
                 sample_size=min(sampling_budget, remaining.size),
                 seed=rng,
                 method=self.method_name,
+                pushdown=query.stage_pushdown(),
             )
 
         details = dict(estimate.details)
@@ -194,6 +198,7 @@ class LearnedWeightedSampling:
                 sample_size=min(int(budget), remaining.size),
                 seed=rng,
                 method=self.method_name,
+                pushdown=query.stage_pushdown(),
             )
 
         details = dict(estimate.details)

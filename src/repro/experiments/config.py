@@ -15,36 +15,49 @@ server's JSON request schema.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 
 @dataclass(frozen=True)
 class SpecString:
-    """One parsed ``name[:argument]`` spec string.
+    """One parsed ``name[:argument]`` or ``name:key=value,...`` spec string.
 
     The grammar is deliberately tiny — a lower-case name from a closed
-    vocabulary, optionally followed by ``:`` and a single argument — because
+    vocabulary, optionally followed by ``:`` and either a single positional
+    argument or a comma-separated list of ``key=value`` options — because
     every textual knob in the library (query backends like
-    ``"chunked:4096"``, dispatch modes like ``"warm"``, method specs like
-    ``"lss:dirsol"``) fits it.  :func:`parse` is the single validation
-    point; all call sites therefore share one error message shape:
+    ``"chunked:4096"`` or ``"sqlite:database=/path,pushdown=full"``,
+    dispatch modes like ``"warm"``, method specs like ``"lss:dirsol"``)
+    fits it.  :func:`parse` is the single validation point; all call sites
+    therefore share one error message shape:
 
     * ``unknown <kind> 'x'; choose from (...)`` for a name outside the
-      vocabulary, and
+      vocabulary,
     * ``<kind> 'x' takes no argument, got 'x:y'`` for an argument where none
-      is allowed.
+      is allowed, and
+    * ``<kind> 'x' takes no options, got 'x:k=v'`` for ``key=value`` options
+      on a name that only accepts a plain argument (or none).
+
+    Option *keys* may not contain commas or ``=``; option *values* may
+    contain anything except a comma (so ``database=:memory:`` parses, but a
+    path containing a comma cannot be spelled in a spec string).
 
     Attributes:
         kind: what the spec names (``"backend"``, ``"dispatch"``,
             ``"method"``); used only in error messages.
         name: the validated name part.
-        argument: the text after ``:``, or ``None`` when absent.
+        argument: the text after ``:``, or ``None`` when absent or when the
+            argument parsed as options.
+        options: parsed ``key=value`` pairs, sorted by key; empty when the
+            spec carries none.
     """
 
     kind: str
     name: str
     argument: str | None = None
+    options: tuple[tuple[str, str], ...] = ()
 
     @classmethod
     def parse(
@@ -53,6 +66,7 @@ class SpecString:
         value: str,
         names: Sequence[str],
         argument_names: Sequence[str] = (),
+        option_names: Sequence[str] = (),
     ) -> "SpecString":
         """Parse and validate one spec string.
 
@@ -60,17 +74,76 @@ class SpecString:
             kind: label for error messages (``"backend"``, ``"dispatch"`` ...).
             value: the raw spec string.
             names: the closed vocabulary of valid names.
-            argument_names: the subset of ``names`` that may carry a
+            argument_names: the subset of ``names`` that may carry a plain
                 ``:argument`` suffix.
+            option_names: the subset of ``names`` that may carry
+                ``:key=value,...`` options.  Which keys (and values) are
+                legal for a given name is the caller's vocabulary — see
+                :meth:`validate_options`.
         """
         if not isinstance(value, str):
             raise TypeError(f"{kind} spec must be a string, got {type(value).__name__}")
         name, _, argument = value.partition(":")
         if name not in tuple(names):
             raise ValueError(f"unknown {kind} {name!r}; choose from {tuple(names)}")
+        if argument and "=" in argument:
+            if name not in tuple(option_names):
+                raise ValueError(f"{kind} {name!r} takes no options, got {value!r}")
+            options: list[tuple[str, str]] = []
+            seen: set[str] = set()
+            for piece in argument.split(","):
+                key, equals, option_value = piece.partition("=")
+                if not equals or not key:
+                    raise ValueError(
+                        f"malformed {kind} option {piece!r} in {value!r}: expected key=value"
+                    )
+                if key in seen:
+                    raise ValueError(f"duplicate {kind} option {key!r} in {value!r}")
+                seen.add(key)
+                options.append((key, option_value))
+            return cls(kind=kind, name=name, options=tuple(sorted(options)))
         if argument and name not in tuple(argument_names):
             raise ValueError(f"{kind} {name!r} takes no argument, got {value!r}")
         return cls(kind=kind, name=name, argument=argument or None)
+
+    def option(self, key: str, default: str | None = None) -> str | None:
+        """The value of one parsed option (``default`` when absent)."""
+        for candidate, value in self.options:
+            if candidate == key:
+                return value
+        return default
+
+    def validate_options(
+        self, vocabulary: Mapping[str, Sequence[str] | None]
+    ) -> "SpecString":
+        """Reject unknown option keys and out-of-vocabulary values.
+
+        ``vocabulary`` maps each legal key to the tuple of values it accepts
+        (``None`` for free-form values like filesystem paths).  Returns
+        ``self`` so parsing call sites can chain.
+        """
+        for key, value in self.options:
+            if key not in vocabulary:
+                raise ValueError(
+                    f"unknown {self.kind} option {key!r} for {self.name!r}; "
+                    f"choose from {tuple(sorted(vocabulary))}"
+                )
+            allowed = vocabulary[key]
+            if allowed is not None and value not in tuple(allowed):
+                raise ValueError(
+                    f"invalid {self.kind} option {key}={value!r}; "
+                    f"choose from {tuple(allowed)}"
+                )
+        return self
+
+    def without_default_options(self, defaults: Mapping[str, str]) -> "SpecString":
+        """Drop options spelling out a default value (canonicalisation)."""
+        kept = tuple(
+            (key, value) for key, value in self.options if defaults.get(key) != value
+        )
+        if kept == self.options:
+            return self
+        return dataclasses.replace(self, options=kept)
 
     def int_argument(self, default: int) -> int:
         """The argument as a positive integer (``default`` when absent)."""
@@ -89,7 +162,15 @@ class SpecString:
 
     @property
     def canonical(self) -> str:
-        """The spec re-rendered in canonical ``name[:argument]`` form."""
+        """The spec re-rendered in canonical form.
+
+        ``name`` alone, ``name:argument``, or ``name:key=value,...`` with
+        keys sorted — the stable spelling that participates in task
+        fingerprints and cache keys.
+        """
+        if self.options:
+            rendered = ",".join(f"{key}={value}" for key, value in self.options)
+            return f"{self.name}:{rendered}"
         return self.name if self.argument is None else f"{self.name}:{self.argument}"
 
 

@@ -33,10 +33,20 @@ from repro.parallel.methods import METHODS
 from repro.workloads.queries import WorkloadSpec
 from repro.workloads.runner import TrialRunner
 
-#: Backends audited by default: the in-memory reference, the SQL engine, and
-#: the out-of-core streaming backend at a degenerate, an adversarially odd
-#: and a production block size.
-DEFAULT_BACKENDS = ("numpy", "sqlite", "chunked:1", "chunked:7", "chunked:4096")
+#: Backends audited by default: the in-memory reference, the SQL engine at
+#: every pushdown level (``sqlite`` is the ``counts`` default; ``off`` stores
+#: only, ``full`` answers whole estimator stages with one aggregate query
+#: each), and the out-of-core streaming backend at a degenerate, an
+#: adversarially odd and a production block size.
+DEFAULT_BACKENDS = (
+    "numpy",
+    "sqlite",
+    "sqlite:pushdown=off",
+    "sqlite:pushdown=full",
+    "chunked:1",
+    "chunked:7",
+    "chunked:4096",
+)
 
 #: Number of objects probed through the charged oracle path per backend.
 _PROBE_SIZE = 64
@@ -64,6 +74,7 @@ class ParityReport:
     baseline: str
     ground_truth: dict[str, tuple[str, int]] = field(default_factory=dict)
     oracle_probes: dict[str, tuple[str, int]] = field(default_factory=dict)
+    capabilities: dict[str, tuple[str, ...]] = field(default_factory=dict)
     rows: list[MethodParity] = field(default_factory=list)
     mismatches: list[str] = field(default_factory=list)
 
@@ -143,6 +154,7 @@ def run_backend_parity(
         )
         workload = spec.build()
         query = workload.query
+        report.capabilities[backend] = query.backend.capabilities()
 
         truth = (_labels_digest(query.ground_truth_labels()), query.true_count())
         report.ground_truth[backend] = truth
@@ -256,11 +268,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"backend parity — dataset={report.dataset} level={report.level} "
         f"rows={report.num_rows} baseline={report.baseline}"
     )
+    for backend, tokens in report.capabilities.items():
+        print(f"  capabilities  {backend:>20}  {'+'.join(tokens)}")
     for backend, (digest, true_count) in report.ground_truth.items():
-        print(f"  ground truth  {backend:>14}  count={true_count}  sha256={digest[:16]}…")
+        print(f"  ground truth  {backend:>20}  count={true_count}  sha256={digest[:16]}…")
     for row in report.rows:
         print(
-            f"  {row.method:>5} on {row.backend:>14}  estimates={row.estimates[:16]}… "
+            f"  {row.method:>5} on {row.backend:>20}  estimates={row.estimates[:16]}… "
             f"cuts={row.cut_points[:12]}… calls={row.oracle_calls}"
         )
     if report.ok:

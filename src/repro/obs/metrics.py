@@ -43,6 +43,7 @@ ORACLE_CALLS = "repro_oracle_calls_total"
 PREDICATE_BATCH_ROWS = "repro_predicate_batch_rows"
 BACKEND_ROWS_SCANNED = "repro_backend_rows_scanned_total"
 SQL_ROUNDTRIPS = "repro_sql_roundtrips_total"
+SQL_STAGE_QUERIES = "repro_sql_stage_queries_total"
 STAGE_SECONDS = "repro_stage_seconds"
 TRIALS_TOTAL = "repro_trials_total"
 TRIAL_SECONDS = "repro_trial_seconds"
@@ -182,10 +183,21 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get((name, _label_key(labels)), 0.0)
 
-    def counter_total(self, name: str) -> float:
-        """Sum of a counter across all label sets."""
+    def counter_total(self, name: str, **labels: object) -> float:
+        """Sum of a counter across label sets matching the given subset.
+
+        With no ``labels`` this sums every label set of the counter; with
+        keywords it sums only the sets carrying those exact (key, value)
+        pairs — e.g. ``counter_total(SQL_STAGE_QUERIES, backend="sqlite")``
+        across whatever stage labels were recorded.
+        """
+        wanted = set(_label_key(labels))
         with self._lock:
-            return sum(v for (n, _), v in self._counters.items() if n == name)
+            return sum(
+                v
+                for (n, key), v in self._counters.items()
+                if n == name and wanted.issubset(key)
+            )
 
     def gauge_value(self, name: str, **labels: object) -> float:
         with self._lock:

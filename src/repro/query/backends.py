@@ -31,9 +31,32 @@ stores IEEE-754 doubles, the distance test ``(dx*dx + dy*dy) <= d**2`` rounds
 each step exactly like the numpy kernels, and the skyband test is pure
 comparisons.
 
+**Capabilities.**  Not every backend can do more than evaluate labels, and
+the estimators must not guess.  Every backend answers
+:meth:`QueryBackend.capabilities` with the tuple of capability tokens it
+implements; backends that can move whole estimator stages into the engine
+additionally satisfy the :class:`StrataPushdown` / :class:`SamplingPushdown`
+protocols.  :class:`SqliteBackend` advertises up to four capabilities
+depending on its ``pushdown`` level (``off`` / ``counts`` / ``full``):
+
+* ``evaluate`` — labels on demand (every backend);
+* ``predicate-pushdown`` — per-object labels computed by correlated COUNT
+  subqueries inside the engine (``counts``, the default, and ``full``);
+* ``strata-pushdown`` — score orderings and stratum layouts materialised
+  in-database with ``ROW_NUMBER``/``NTILE`` window functions, each LSS
+  stage answered by **one** aggregate query (``full`` only);
+* ``sampling-pushdown`` — the seeded PPS draw order stored as a permutation
+  column so the whole LWS sampling stage is one aggregate query (``full``
+  only).
+
+Randomness never moves: seeds are drawn client-side and only *label
+evaluation* is pushed down, which is what keeps every estimate byte-identical
+across pushdown levels.
+
 Backends are named by a spec string — ``"numpy"``, ``"sqlite"``,
-``"chunked"`` or ``"chunked:<rows>"`` — so the choice travels through
-pickle-safe descriptions (:class:`~repro.workloads.queries.WorkloadSpec`,
+``"sqlite:database=/path,pushdown=full"``, ``"chunked"`` or
+``"chunked:<rows>"`` — so the choice travels through pickle-safe descriptions
+(:class:`~repro.workloads.queries.WorkloadSpec`,
 :class:`~repro.parallel.methods.MethodSpec`) and is part of the deterministic
 task fingerprint.
 """
@@ -42,22 +65,47 @@ from __future__ import annotations
 
 import sqlite3
 import time
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro import obs
 from repro.query.predicates import NeighborCountPredicate, Predicate, SkybandPredicate
-from repro.query.sql import quote_identifier, table_to_sqlite
+from repro.query.sql import (
+    WINDOW_FUNCTIONS_AVAILABLE,
+    PermutationLayout,
+    ScoreLayout,
+    quote_identifier,
+    table_to_sqlite,
+)
 from repro.query.table import Table
 from repro.resilience.faults import active_plan
 from repro.resilience.retry import backoff_delays
 
 #: Spec names accepted by :func:`make_backend` (``"chunked"`` also accepts a
-#: ``:<rows>`` suffix selecting the block size).
+#: ``:<rows>`` suffix selecting the block size; ``"sqlite"`` accepts
+#: ``key=value`` options, see :data:`SQLITE_OPTION_DEFAULTS`).
 BACKEND_NAMES = ("numpy", "sqlite", "chunked")
+
+#: Capability tokens a backend may advertise via ``capabilities()``.
+CAP_EVALUATE = "evaluate"
+CAP_PREDICATE_PUSHDOWN = "predicate-pushdown"
+CAP_STRATA_PUSHDOWN = "strata-pushdown"
+CAP_SAMPLING_PUSHDOWN = "sampling-pushdown"
+
+#: Pushdown levels of :class:`SqliteBackend`, least to most aggressive.
+PUSHDOWN_LEVELS = ("off", "counts", "full")
+
+#: ``counts`` (PR 5's correlated COUNT probes) stays the default, so the
+#: bare ``"sqlite"`` spec keeps its historical meaning.
+DEFAULT_PUSHDOWN = "counts"
+
+#: Option vocabulary of the ``sqlite`` spec and the default each key
+#: canonicalises away (``sqlite:pushdown=counts`` re-renders as ``sqlite``).
+SQLITE_OPTION_DEFAULTS = {"database": ":memory:", "pushdown": DEFAULT_PUSHDOWN}
 
 #: Default row-block size of :class:`ChunkedBackend`.
 DEFAULT_CHUNK_ROWS = 4096
@@ -102,8 +150,11 @@ class QueryBackend(ABC):
         """Feature block for the given objects (all objects by default)."""
         matrix = self.table.columns(columns)
         if indices is None:
+            self._record_scan(matrix.shape[0])
             return matrix
-        return matrix[np.asarray(indices, dtype=np.int64)]
+        indices = np.asarray(indices, dtype=np.int64)
+        self._record_scan(indices.size)
+        return matrix[indices]
 
     # -- predicate execution --------------------------------------------------
     @abstractmethod
@@ -113,6 +164,19 @@ class QueryBackend(ABC):
     @abstractmethod
     def evaluate_all(self) -> np.ndarray:
         """Exact label of every object (the experiments' ground truth)."""
+
+    # -- introspection --------------------------------------------------------
+    def capabilities(self) -> tuple[str, ...]:
+        """Capability tokens this backend implements.
+
+        Every backend can :data:`CAP_EVALUATE`; backends that can execute
+        estimator stages in the engine add the pushdown tokens and satisfy
+        the matching protocol (:class:`StrataPushdown`,
+        :class:`SamplingPushdown`).  Estimators branch on this — never on
+        the concrete class — and fall back to the client-side kernels when
+        a capability is absent.
+        """
+        return (CAP_EVALUATE,)
 
     # -- lifecycle ------------------------------------------------------------
     def close(self) -> None:
@@ -124,8 +188,59 @@ class QueryBackend(ABC):
         if obs.enabled():
             obs.record_rows_scanned(int(rows), backend=self.spec)
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
-        return f"{type(self).__name__}(spec={self.spec!r}, objects={self.num_objects})"
+    def __repr__(self) -> str:
+        rendered = "+".join(self.capabilities())
+        return (
+            f"{type(self).__name__}(spec={self.spec!r}, "
+            f"objects={self.num_objects}, capabilities={rendered})"
+        )
+
+
+@runtime_checkable
+class StrataPushdown(Protocol):
+    """Optional capability: score orderings and strata live in the engine.
+
+    A backend advertising :data:`CAP_STRATA_PUSHDOWN` materialises a
+    :class:`~repro.query.sql.ScoreLayout` from ``(object, score)`` pairs —
+    re-deriving the stable score ordering and fixed-height strata with
+    window functions — and answers each estimator stage over it with one
+    aggregate query.  ``materialize_layout`` returns ``None`` whenever the
+    backend cannot honour the request (non-finite scores, no SQL plan for
+    the predicate, engine too old), and the caller falls back client-side.
+    """
+
+    def capabilities(self) -> tuple[str, ...]: ...
+
+    def materialize_layout(
+        self, objects: np.ndarray, scores: np.ndarray, num_strata: int
+    ) -> "ScoreLayout | None": ...
+
+    def evaluate_layout(
+        self, layout: "ScoreLayout", positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]: ...
+
+
+@runtime_checkable
+class SamplingPushdown(Protocol):
+    """Optional capability: seeded draw orders live in the engine.
+
+    A backend advertising :data:`CAP_SAMPLING_PUSHDOWN` stores a
+    client-seeded draw permutation as a
+    :class:`~repro.query.sql.PermutationLayout` column and labels any prefix
+    of the draw sequence with one aggregate query.  Same fallback contract
+    as :class:`StrataPushdown`: ``materialize_permutation`` may return
+    ``None`` and the caller must cope.
+    """
+
+    def capabilities(self) -> tuple[str, ...]: ...
+
+    def materialize_permutation(
+        self, objects: np.ndarray, order: np.ndarray
+    ) -> "PermutationLayout | None": ...
+
+    def evaluate_permutation(
+        self, layout: "PermutationLayout", size: int
+    ) -> tuple[np.ndarray, np.ndarray]: ...
 
 
 class NumpyBackend(QueryBackend):
@@ -185,11 +300,16 @@ class ChunkedBackend(QueryBackend):
         indices = np.asarray(indices, dtype=np.int64)
         if indices.size == 0:
             return np.empty(0, dtype=np.float64)
-        self._record_scan(indices.size)
-        parts = [
-            np.asarray(self.predicate.evaluate_batch(self.table, block), dtype=np.float64)
-            for block in self._blocks(indices)
-        ]
+        # Charge the scan block by block as the stream advances, so the
+        # counter reflects exactly the rows each streamed block touched —
+        # no more, no less — and stays in lockstep with NumpyBackend's
+        # whole-request charge (the block sizes sum to ``indices.size``).
+        parts = []
+        for block in self._blocks(indices):
+            self._record_scan(block.size)
+            parts.append(
+                np.asarray(self.predicate.evaluate_batch(self.table, block), dtype=np.float64)
+            )
         return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
     def evaluate_all(self) -> np.ndarray:
@@ -218,13 +338,17 @@ class ChunkedBackend(QueryBackend):
         # Table.columns, which materialises the full (N, d) matrix and would
         # defeat the bounded working set.  Casting a slice then stacking is
         # elementwise, so the assembled matrix is byte-identical to slicing
-        # the full-table matrix.
-        parts = [
-            np.column_stack(
-                [self.table.column(name)[block].astype(np.float64) for name in names]
+        # the full-table matrix.  Each block is charged to the scan counter
+        # exactly once, as it streams, matching the per-request charge the
+        # base class makes for in-memory gathers.
+        parts = []
+        for block in self._blocks(indices):
+            self._record_scan(block.size)
+            parts.append(
+                np.column_stack(
+                    [self.table.column(name)[block].astype(np.float64) for name in names]
+                )
             )
-            for block in self._blocks(indices)
-        ]
         return parts[0] if len(parts) == 1 else np.vstack(parts)
 
 
@@ -279,25 +403,39 @@ def _skyband_plan(predicate: SkybandPredicate, name: str) -> _PushdownPlan:
 
 
 class SqliteBackend(QueryBackend):
-    """Execute Q3 inside sqlite3.
+    """Execute Q3 inside sqlite3, at a configurable pushdown level.
 
-    The object table is materialised into an in-memory sqlite database.  The
-    two built-in predicates are pushed down as correlated COUNT subqueries —
-    batched per-object probes and a single bulk pass for ground truth — with
-    an index on the neighbour predicate's x column so the correlated scan
-    uses a range probe instead of a full scan per object.  Predicates without
-    a SQL translation (user-defined :class:`~repro.query.predicates.CallablePredicate`)
-    fall back to the in-memory kernels; the backend still owns enumeration
-    and feature gathering, and label parity is trivially preserved.
+    The object table is materialised into an in-memory sqlite database.
+    What else moves into the engine depends on ``pushdown``:
 
-    Args:
-        table: the object table.
-        predicate: the expensive predicate.
-        table_name: name under which the table is materialised (defaults to
-            the table's own name).
-        database: ``":memory:"`` (default) or a filesystem path; a file
-            database lets other connections genuinely contend for locks,
-            which is how the contention tests drive the retry path below.
+    * ``"off"`` — the database only stores the table; labels come from the
+      client-side vectorized kernels (the reference semantics, handy for
+      differential debugging of the levels below).
+    * ``"counts"`` (default) — the two built-in predicates are pushed down
+      as correlated COUNT subqueries — batched per-object probes and a
+      single bulk pass for ground truth — with an index on the neighbour
+      predicate's x column so the correlated scan uses a range probe
+      instead of a full scan per object.
+    * ``"full"`` — everything ``counts`` does, plus estimator-stage
+      pushdown: strata layouts are materialised in-database with
+      ``ROW_NUMBER``/``NTILE`` window functions and seeded draw orders as
+      permutation columns, so every LWS/LSS stage is answered by **one**
+      aggregate query (see :class:`StrataPushdown` /
+      :class:`SamplingPushdown`, and
+      :meth:`~repro.query.counting.CountingQuery.stage_pushdown` for the
+      consuming side).
+
+    Predicates without a SQL translation (user-defined
+    :class:`~repro.query.predicates.CallablePredicate`) fall back to the
+    in-memory kernels at every level; the backend still owns enumeration and
+    feature gathering, and label parity is trivially preserved.  Labels,
+    cut points, oracle-call counts and seeded estimates are byte-identical
+    across all three levels — the parity CLI/CI gate runs the full grid.
+
+    Build instances through ``make_backend("sqlite:database=...,pushdown=...")``;
+    the spec string is the canonical surface (it travels through workload
+    fingerprints).  Passing ``table_name=``/``database=``/``pushdown=``
+    directly to the constructor still works but is deprecated.
     """
 
     spec = "sqlite"
@@ -313,8 +451,55 @@ class SqliteBackend(QueryBackend):
         predicate: Predicate,
         table_name: str | None = None,
         database: str = ":memory:",
+        pushdown: str = DEFAULT_PUSHDOWN,
+    ) -> None:
+        if table_name is not None or database != ":memory:" or pushdown != DEFAULT_PUSHDOWN:
+            warnings.warn(
+                "passing table_name=/database=/pushdown= to SqliteBackend() is "
+                "deprecated; build backends from a spec string instead, e.g. "
+                "make_backend('sqlite:database=/path,pushdown=full', table, predicate)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        self._setup(table, predicate, table_name=table_name, database=database, pushdown=pushdown)
+
+    @classmethod
+    def _from_spec(
+        cls,
+        table: Table,
+        predicate: Predicate,
+        *,
+        database: str = ":memory:",
+        pushdown: str = DEFAULT_PUSHDOWN,
+    ) -> "SqliteBackend":
+        """Constructor used by :func:`make_backend` (no deprecation warning)."""
+        self = cls.__new__(cls)
+        self._setup(table, predicate, table_name=None, database=database, pushdown=pushdown)
+        return self
+
+    def _setup(
+        self,
+        table: Table,
+        predicate: Predicate,
+        *,
+        table_name: str | None,
+        database: str,
+        pushdown: str,
     ) -> None:
         super().__init__(table, predicate)
+        if pushdown not in PUSHDOWN_LEVELS:
+            raise ValueError(
+                f"unknown pushdown level {pushdown!r}; choose from {PUSHDOWN_LEVELS}"
+            )
+        self.pushdown = pushdown
+        options = [
+            (key, value)
+            for key, value in (("database", database), ("pushdown", pushdown))
+            if SQLITE_OPTION_DEFAULTS[key] != value
+        ]
+        if options:
+            rendered = ",".join(f"{key}={value}" for key, value in options)
+            self.spec = f"sqlite:{rendered}"
         self.table_name = table_name or table.name or "objects"
         # ``check_same_thread=False``: the estimate server evaluates requests
         # on executor threads while a per-workload lock serialises access to
@@ -377,9 +562,85 @@ class SqliteBackend(QueryBackend):
                 time.sleep(delays[attempt])
                 attempt += 1
 
+    def capabilities(self) -> tuple[str, ...]:
+        tokens = [CAP_EVALUATE]
+        if self._plan is not None and self.pushdown != "off":
+            tokens.append(CAP_PREDICATE_PUSHDOWN)
+            if self.pushdown == "full" and WINDOW_FUNCTIONS_AVAILABLE:
+                tokens.append(CAP_STRATA_PUSHDOWN)
+                tokens.append(CAP_SAMPLING_PUSHDOWN)
+        return tuple(tokens)
+
+    # -- estimator-stage pushdown (the ``full`` level) -------------------------
+    def materialize_layout(
+        self, objects: np.ndarray, scores: np.ndarray, num_strata: int
+    ) -> ScoreLayout | None:
+        """Build an in-database strata layout, or ``None`` to decline.
+
+        Declines (→ the caller runs client-side) when the backend does not
+        advertise :data:`CAP_STRATA_PUSHDOWN` or when any score is
+        non-finite: Python's sqlite3 binds NaN as NULL, which would silently
+        corrupt the ordering instead of reproducing numpy's NaN-sorts-last.
+        """
+        if CAP_STRATA_PUSHDOWN not in self.capabilities():
+            return None
+        scores = np.asarray(scores, dtype=np.float64)
+        if not np.all(np.isfinite(scores)):
+            return None
+        return ScoreLayout(
+            self._require_connection(),
+            self._query_rows,
+            self._quoted_name,
+            np.asarray(objects, dtype=np.int64),
+            scores,
+            int(num_strata),
+        )
+
+    def evaluate_layout(
+        self, layout: ScoreLayout, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One estimator stage over a layout: one aggregate query."""
+        assert self._plan is not None  # layouts only exist with a SQL plan
+        positions = np.asarray(positions, dtype=np.int64)
+        self._record_scan(positions.size)
+        if obs.enabled():
+            obs.record_stage_query(backend=self.spec)
+        return layout.evaluate_positions(
+            positions, self._plan.label_expression, self._plan.parameters
+        )
+
+    def materialize_permutation(
+        self, objects: np.ndarray, order: np.ndarray
+    ) -> PermutationLayout | None:
+        """Store a client-seeded draw permutation, or ``None`` to decline."""
+        if CAP_SAMPLING_PUSHDOWN not in self.capabilities():
+            return None
+        return PermutationLayout(
+            self._require_connection(),
+            self._query_rows,
+            self._quoted_name,
+            np.asarray(objects, dtype=np.int64),
+            np.asarray(order, dtype=np.int64),
+        )
+
+    def evaluate_permutation(
+        self, layout: PermutationLayout, size: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Label the first ``size`` seeded draws: one aggregate query."""
+        assert self._plan is not None
+        self._record_scan(int(size))
+        if obs.enabled():
+            obs.record_stage_query(backend=self.spec)
+        return layout.evaluate_prefix(
+            int(size), self._plan.label_expression, self._plan.parameters
+        )
+
     def evaluate(self, indices: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)
-        if self._plan is None:
+        if self._plan is None or self.pushdown == "off":
+            # No SQL translation (or pushdown disabled): the reference
+            # kernels produce the labels; the database is storage only.
+            self._record_scan(indices.size)
             return np.asarray(
                 self.predicate.evaluate_batch(self.table, indices), dtype=np.float64
             )
@@ -415,7 +676,8 @@ class SqliteBackend(QueryBackend):
         return np.array([labels_by_index[int(i)] for i in indices], dtype=np.float64)
 
     def evaluate_all(self) -> np.ndarray:
-        if self._plan is None:
+        if self._plan is None or self.pushdown == "off":
+            self._record_scan(self.num_objects)
             return np.asarray(self.predicate.evaluate_all(self.table), dtype=np.float64)
         self._require_connection()
         self._record_scan(self.num_objects)
@@ -429,24 +691,43 @@ class SqliteBackend(QueryBackend):
         return np.fromiter((float(label) for (label,) in rows), dtype=np.float64, count=len(rows))
 
 
+def _parse_backend_spec(spec: str):
+    """Parse + validate one backend spec string through the shared grammar."""
+    # Lazy import: repro.experiments.__init__ transitively imports this
+    # module, so a top-level import of the grammar would be circular.
+    from repro.experiments.config import SpecString
+
+    parsed = SpecString.parse(
+        "backend",
+        spec,
+        BACKEND_NAMES,
+        argument_names=("chunked",),
+        option_names=("sqlite",),
+    )
+    if parsed.options:
+        parsed = parsed.validate_options(
+            {"database": None, "pushdown": PUSHDOWN_LEVELS}
+        ).without_default_options(SQLITE_OPTION_DEFAULTS)
+    return parsed
+
+
 def canonical_backend_spec(spec: "str | QueryBackend | None") -> str:
     """Normalise a backend spec to its canonical string form.
 
     ``None`` means the default (``"numpy"``); a backend instance reports its
-    own canonical spec; a string is validated and normalised
-    (``"chunked"`` → ``"chunked:<default>"``).
+    own canonical spec; a string is validated and normalised —
+    ``"chunked"`` → ``"chunked:<default>"``, sqlite options are key-sorted
+    and options spelling a default are dropped
+    (``"sqlite:pushdown=counts"`` → ``"sqlite"``) — so equal configurations
+    share one spelling in task fingerprints and cache keys.
     """
     if spec is None:
         return "numpy"
     if isinstance(spec, QueryBackend):
         return spec.spec
-    # Lazy import: repro.experiments.__init__ transitively imports this
-    # module, so a top-level import of the grammar would be circular.
-    from repro.experiments.config import SpecString
-
-    parsed = SpecString.parse("backend", spec, BACKEND_NAMES, argument_names=("chunked",))
+    parsed = _parse_backend_spec(spec)
     if parsed.name != "chunked":
-        return parsed.name
+        return parsed.canonical
     return f"chunked:{parsed.int_argument(DEFAULT_CHUNK_ROWS)}"
 
 
@@ -471,7 +752,13 @@ def make_backend(
     canonical = canonical_backend_spec(spec)
     if canonical == "numpy":
         return NumpyBackend(table, predicate)
-    if canonical == "sqlite":
-        return SqliteBackend(table, predicate)
+    parsed = _parse_backend_spec(canonical)
+    if parsed.name == "sqlite":
+        return SqliteBackend._from_spec(
+            table,
+            predicate,
+            database=parsed.option("database", ":memory:"),
+            pushdown=parsed.option("pushdown", DEFAULT_PUSHDOWN),
+        )
     chunk_rows = int(canonical.split(":", 1)[1])
     return ChunkedBackend(table, predicate, chunk_rows=chunk_rows)

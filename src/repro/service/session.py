@@ -219,6 +219,21 @@ class ResidentWorkload:
         with self.lock:
             return [self.spec_for(level) for level in self._levels]
 
+    def backend_info(self) -> dict:
+        """Canonical backend spec + advertised capabilities (for ``/stats``).
+
+        The capability tokens come from a built level's live backend when one
+        exists; before the first build only the requested spec is known.
+        """
+        with self.lock:
+            for workload in self._levels.values():
+                backend = workload.query.backend
+                return {
+                    "spec": backend.spec,
+                    "capabilities": list(backend.capabilities()),
+                }
+            return {"spec": self.backend, "capabilities": None}
+
     def close(self) -> None:
         with self.lock:
             for workload in self._levels.values():
@@ -661,6 +676,11 @@ class Session:
         """Stats snapshot, as served by ``GET /stats``."""
         payload = self.stats.as_dict()
         payload["resident_workloads"] = self.resident_workloads
+        with self._lock:
+            payload["backends"] = [
+                {"dataset": resident.dataset, **resident.backend_info()}
+                for resident in self._residents.values()
+            ]
         payload["score_cache_entries"] = len(default_scores_cache)
         payload["design_cache_entries"] = len(default_design_cache)
         payload["design_cache_hits"] = default_design_cache.hits

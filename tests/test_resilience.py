@@ -46,7 +46,7 @@ from repro.parallel import (
 )
 from repro.parallel.shm import active_segments
 from repro.parallel.tasks import TrialTask
-from repro.query.backends import SqliteBackend
+from repro.query.backends import SqliteBackend, make_backend
 from repro.resilience import FaultPlan, FaultSpec, TransientFaultError, backoff_delays, faults
 from repro.sampling.rng import spawn_seed_descriptors
 from repro.service.server import EstimateServer, ServerThread, request_json, request_text
@@ -449,7 +449,9 @@ class TestSqliteResilience:
         indices = np.arange(80)
         reference = np.asarray(query.backend.evaluate(indices), dtype=np.float64)
         database = str(tmp_path / "contention.db")
-        backend = SqliteBackend(query.table, query.predicate, database=database)
+        backend = make_backend(
+            f"sqlite:database={database}", query.table, query.predicate
+        )
         writer_started = threading.Event()
         release_writer = threading.Event()
 
